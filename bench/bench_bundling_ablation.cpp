@@ -1,0 +1,93 @@
+// Ablation for the unbundled-scheduling design decision (paper Sec. 4.3):
+//
+// "Previously, MuMMI scaled the job scheduling by bundling simulations on
+// compute nodes ... this bundling strategy prevents controlling each
+// simulation explicitly, reducing the effective use of resources (with the
+// worst case utilization of 1/4, when a single simulation keeps the job
+// alive and continues to occupy the node). This limitation would only
+// exacerbate when moving to Summit (6 GPUs/node leads to worst case
+// utilization of 1/6)."
+//
+// We run the same ensemble of simulations with per-sim durations drawn from
+// the campaign length model, either as independent 1-GPU jobs (unbundled) or
+// as whole-node 6-sim bundles that hold all six GPUs until the slowest
+// member finishes, and compare delivered GPU-time utilization.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace mummi;
+
+namespace {
+
+/// Draws per-simulation runtimes (days) from the campaign CG length model.
+std::vector<double> sim_durations(int n, util::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double target_us = std::min(5.0, 0.5 + rng.exponential(1.0 / 3.5));
+    out.push_back(target_us / 1.04);  // days at 1.04 us/day
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(29);
+  constexpr int kGpusPerNode = 6;  // Summit; Sierra had 4
+  constexpr int kSims = 24000;
+
+  const auto durations = sim_durations(kSims, rng);
+  double busy_gpu_days = 0;
+  for (double d : durations) busy_gpu_days += d;
+
+  // Unbundled: each GPU is released the moment its simulation ends; with
+  // immediate turnover the delivered utilization of an occupied slot is 1.
+  const double unbundled_util = 1.0;
+
+  // Bundled: six sims share one node job; all six GPUs stay allocated until
+  // max(duration of the bundle).
+  double bundled_gpu_days = 0;
+  util::RunningStats bundle_waste;
+  int worst_case_bundles = 0;
+  for (int b = 0; b < kSims / kGpusPerNode; ++b) {
+    double longest = 0, sum = 0;
+    for (int g = 0; g < kGpusPerNode; ++g) {
+      const double d = durations[static_cast<std::size_t>(b * kGpusPerNode + g)];
+      longest = std::max(longest, d);
+      sum += d;
+    }
+    bundled_gpu_days += longest * kGpusPerNode;
+    bundle_waste.add(sum / (longest * kGpusPerNode));
+    // "Worst case": one long simulation keeps the bundle alive while the
+    // other five finished long ago.
+    if (sum / (longest * kGpusPerNode) < 2.0 / kGpusPerNode)
+      ++worst_case_bundles;
+  }
+  const double bundled_util = busy_gpu_days / bundled_gpu_days;
+
+  std::printf("=== Bundled vs unbundled scheduling (Sec. 4.3) ===\n\n");
+  std::printf("ensemble: %d CG simulations, campaign length model, %d "
+              "GPUs/node\n\n", kSims, kGpusPerNode);
+  std::printf("%-34s %10s\n", "strategy", "GPU-time utilization");
+  std::printf("%-34s %9.1f%%   (slot released at sim end)\n",
+              "unbundled (1 job per simulation)", 100.0 * unbundled_util);
+  std::printf("%-34s %9.1f%%   (node held until slowest of 6)\n",
+              "bundled (6 sims per node job)", 100.0 * bundled_util);
+  std::printf("\nper-bundle utilization: mean %.1f%%, min %.1f%% "
+              "(theoretical worst case 1/%d = %.1f%%)\n",
+              100.0 * bundle_waste.mean(), 100.0 * bundle_waste.min(),
+              kGpusPerNode, 100.0 / kGpusPerNode);
+  std::printf("bundles below 2/6 utilization: %d of %d\n", worst_case_bundles,
+              kSims / kGpusPerNode);
+  std::printf("\nunbundling costs %dx more jobs (the paper accepts a \"6x "
+              "increase in the\nnumber of jobs\") and buys %.1f%% more "
+              "delivered GPU time plus explicit\nper-simulation control.\n",
+              kGpusPerNode, 100.0 * (unbundled_util - bundled_util));
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Reproduces Figure 6: job ramp-up history.
+//
+// "We configured our runs to submit ~100 jobs/min. Whereas a typical
+// 1000-node run took only an hour to load, our scaling run (using 4000
+// nodes) revealed some scheduling bottlenecks where the submitted jobs took
+// much longer to run ... the scheduling in Flux happened in large chunks
+// followed by large periods of inactivity."
+//
+// Three scenarios:
+//   A. 1000 nodes, sync Q<->R, exhaustive matcher  (production; smooth)
+//   B. 4000 nodes, sync Q<->R, exhaustive matcher  (the pathology)
+//   C. 4000 nodes, async Q<->R, first-match        (the fix, Sec. 5.2)
+
+#include <cstdio>
+#include <vector>
+
+#include "event/sim_engine.hpp"
+#include "sched/queue_manager.hpp"
+#include "util/stats.hpp"
+
+using namespace mummi;
+
+namespace {
+
+struct Sample {
+  double hours;
+  std::size_t running;
+  std::size_t pending;  // submitted but not yet placed ("took much longer
+                        // to run")
+};
+
+struct RampResult {
+  std::vector<Sample> series;
+  double hours_to_full = 0;
+  double sustained_jobs_per_min = 0;
+  double longest_stall_s = 0;  // longest gap between job starts after t0
+  std::size_t peak_pending = 0;
+};
+
+RampResult run_ramp(int nodes, bool sync_qr, sched::MatchPolicy policy,
+                    int gpu_jobs) {
+  event::SimEngine engine;
+  sched::Scheduler scheduler(sched::ClusterSpec::summit(nodes), policy,
+                             engine.clock());
+  sched::QueueConfig qcfg;
+  qcfg.async_match = !sync_qr;
+  qcfg.t_submit = 0.12;
+  qcfg.per_visit = 8e-6;
+  qcfg.match_overhead = 5e-3;
+  sched::QueueManager queue(engine, scheduler, qcfg);
+
+  RampResult result;
+  double last_start = 0;
+  scheduler.on_start([&](const sched::Job&) {
+    const double now = engine.now();
+    result.longest_stall_s =
+        std::max(result.longest_stall_s, now - last_start);
+    last_start = now;
+    if (scheduler.running_count() == static_cast<std::size_t>(gpu_jobs))
+      result.hours_to_full = now / 3600.0;
+  });
+
+  // The WM's submission throttle: a batch of 100 jobs per maintain tick
+  // (~100 jobs/min).
+  int submitted = 0;
+  std::function<void()> submit_tick = [&] {
+    for (int i = 0; i < 100 && submitted < gpu_jobs; ++i, ++submitted)
+      queue.submit(sched::JobSpec::gpu_sim("sim", "cg_sim", 3));
+    if (submitted < gpu_jobs) engine.schedule_after(60.0, submit_tick);
+  };
+  engine.schedule_after(60.0, submit_tick);
+
+  // Sample running and pending counts every 2 minutes.
+  std::function<void()> sample_tick = [&] {
+    const std::size_t pending =
+        scheduler.pending_count() + queue.submissions_waiting();
+    result.series.push_back(
+        Sample{engine.now() / 3600.0, scheduler.running_count(), pending});
+    result.peak_pending = std::max(result.peak_pending, pending);
+    if (scheduler.running_count() < static_cast<std::size_t>(gpu_jobs) &&
+        engine.now() < 30 * 3600.0)
+      engine.schedule_after(120.0, sample_tick);
+  };
+  engine.schedule_after(120.0, sample_tick);
+
+  engine.run_until(30 * 3600.0);
+  if (result.hours_to_full == 0) result.hours_to_full = 30.0;  // never filled
+  result.sustained_jobs_per_min =
+      static_cast<double>(scheduler.running_count()) /
+      (result.hours_to_full * 60.0);
+  return result;
+}
+
+void print_series(const char* label, const RampResult& r, int target) {
+  std::printf("%s\n", label);
+  std::printf("%8s %10s %10s\n", "hours", "running", "pending");
+  // Downsample to ~24 rows.
+  const std::size_t stride = std::max<std::size_t>(1, r.series.size() / 24);
+  for (std::size_t i = 0; i < r.series.size(); i += stride)
+    std::printf("%8.2f %10zu %10zu\n", r.series[i].hours, r.series[i].running,
+                r.series[i].pending);
+  if (!r.series.empty())
+    std::printf("%8.2f %10zu %10zu\n", r.series.back().hours,
+                r.series.back().running, r.series.back().pending);
+  std::printf("  -> full at %.2f h; sustained %.0f jobs/min; longest "
+              "scheduling gap %.0f s; peak backlog %zu (target %d jobs)\n\n",
+              r.hours_to_full, r.sustained_jobs_per_min, r.longest_stall_s,
+              r.peak_pending, target);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: job ramp-up at ~100 submissions/min ===\n\n");
+
+  const auto a = run_ramp(1000, true, sched::MatchPolicy::kExhaustiveLowId,
+                          6000);
+  print_series("A. 1000 nodes (6000 GPU jobs), sync Q<->R, exhaustive match:",
+               a, 6000);
+
+  const auto b = run_ramp(4000, true, sched::MatchPolicy::kExhaustiveLowId,
+                          24000);
+  print_series("B. 4000 nodes (24,000 GPU jobs), sync Q<->R, exhaustive "
+               "match (the paper's pathology):",
+               b, 24000);
+
+  const auto c = run_ramp(4000, false, sched::MatchPolicy::kFirstMatch, 24000);
+  print_series("C. 4000 nodes, async Q<->R + first-match (the fix):", c,
+               24000);
+
+  std::printf("shape checks:\n");
+  std::printf("  A loads in ~1 h (paper: \"a typical 1000-node run took only "
+              "an hour to load\"): %.2f h\n", a.hours_to_full);
+  std::printf("  B takes several times longer with stalls (paper: ~15 h): "
+              "%.2f h, longest scheduling gap %.0f s, backlog up to %zu "
+              "jobs\n",
+              b.hours_to_full, b.longest_stall_s, b.peak_pending);
+  std::printf("  C restores the submission-limited ramp at 4000 nodes: %.2f "
+              "h\n", c.hours_to_full);
+  std::printf("  sustained rate vs SC'19 bundled scheduling (2040 jobs/h = "
+              "34/min): %.1fx\n",
+              a.sustained_jobs_per_min / 34.0);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 7: Redis-backed feedback query performance on a
+// 20-server cluster — time for the three query types of the CG-to-continuum
+// feedback (retrieve keys / retrieve values / delete pairs) as a function of
+// the number of pending CG frames.
+//
+// Paper rates at 4000-node scale: ~10,000 key-retrievals+deletions/s and
+// ~2000 value-reads/s; one outlier iteration with ~70k accumulated frames.
+
+#include <cstdio>
+
+#include "datastore/kv_cluster.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+using namespace mummi;
+
+int main() {
+  std::printf("=== Figure 7: in-memory KV cluster feedback queries "
+              "(20 servers) ===\n\n");
+  std::printf("%10s %14s %16s %14s | %12s %12s\n", "#frames",
+              "retrieve keys", "retrieve values", "delete pairs",
+              "wall keys", "wall values");
+  std::printf("%10s %14s %16s %14s | %12s %12s\n", "", "(model s)",
+              "(model s)", "(model s)", "(measured s)", "(measured s)");
+
+  util::Rng rng(4);
+  for (int frames : {5000, 10000, 20000, 30000, 40000, 50000, 60000, 70000}) {
+    ds::KvCluster kv(20);
+    // Each pending frame: an RDF record of a few KB under "rdf:<id>".
+    util::Bytes payload(3500);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    for (int i = 0; i < frames; ++i)
+      kv.set("rdf:" + std::to_string(i), payload);
+    kv.reset_sim_time();
+
+    util::Stopwatch wall;
+    const auto keys = kv.keys("rdf:*");
+    const double wall_keys = wall.elapsed();
+
+    wall.reset();
+    for (const auto& key : keys) (void)kv.get(key);
+    const double wall_values = wall.elapsed();
+
+    for (const auto& key : keys) kv.del(key);
+
+    std::printf("%10d %14.2f %16.2f %14.2f | %12.4f %12.4f\n", frames,
+                kv.sim_seconds_keys(), kv.sim_seconds_reads(),
+                kv.sim_seconds_deletes(), wall_keys, wall_values);
+  }
+
+  std::printf("\nshape checks (model columns, calibrated to the paper's "
+              "measured rates):\n");
+  std::printf("  - all three query types scale linearly in the number of "
+              "frames;\n");
+  std::printf("  - value retrieval is ~5x the cost of key retrieval or "
+              "deletion\n    (~2k reads/s vs ~10k keys+deletes/s);\n");
+  std::printf("  - even the 70k-frame outlier iteration (controlled-shutdown "
+              "backlog)\n    completes in well under a 10-minute feedback "
+              "budget.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 8: AA-to-CG feedback iteration time vs number of AA
+// frames processed. Each frame costs ~2 s of external-process time; pooled
+// workers and phase splitting keep ">97% of the feedback iterations within
+// 10 minutes"; beyond ~1600 frames the target is missed but cost stays
+// linear.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "datastore/red_store.hpp"
+#include "feedback/aa2cg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace mummi;
+
+namespace {
+
+/// One real iteration of the AaToCgFeedback over `frames` published records;
+/// returns the modeled iteration time in minutes.
+double run_iteration(int frames, util::Rng& rng) {
+  auto store = std::make_shared<ds::RedStore>(20);
+  for (int i = 0; i < frames; ++i) {
+    std::string pattern(14, 'C');
+    for (auto& c : pattern) {
+      const double u = rng.uniform();
+      c = u < 0.55 ? 'H' : u < 0.7 ? 'E' : 'C';
+    }
+    store->put_text("ss-pending", "f" + std::to_string(i), pattern);
+  }
+  fb::AaToCgFeedback feedback(store, fb::Aa2CgConfig{});
+  return feedback.iterate().total_virtual() / 60.0;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(11);
+  std::printf("=== Figure 8: AA->CG feedback iteration time vs frames ===\n\n");
+  std::printf("%10s %14s %12s\n", "#frames", "time (min)", "within 10min");
+  for (int frames : {100, 400, 800, 1200, 1600, 2400, 4000, 7000}) {
+    const double minutes = run_iteration(frames, rng);
+    std::printf("%10d %14.2f %12s\n", frames, minutes,
+                minutes <= 10.0 ? "yes" : "no (linear overrun)");
+  }
+
+  // Campaign-style iteration mix: frame counts per iteration follow the AA
+  // fleet size (~2400 sims at 1000-node scale, one frame per 10.3 min,
+  // 5-minute feedback cadence) with occasional backlogs.
+  std::printf("\ncumulative view over a campaign-like mix of iterations:\n");
+  std::vector<double> times;
+  int within = 0;
+  const int iterations = 400;
+  for (int i = 0; i < iterations; ++i) {
+    // Mostly ~600-1300 frames; rare restarts dump larger backlogs.
+    int frames = static_cast<int>(rng.uniform(400, 1400));
+    if (rng.uniform() < 0.02) frames = static_cast<int>(rng.uniform(2000, 7000));
+    const double minutes = run_iteration(frames, rng);
+    times.push_back(minutes);
+    if (minutes <= 10.0) ++within;
+  }
+  util::RunningStats stats;
+  for (double t : times) stats.add(t);
+  std::printf("  iterations: %d, mean %.2f min, max %.2f min\n", iterations,
+              stats.mean(), stats.max());
+  std::printf("  within 10-minute target: %.1f%%  (paper: >97%%)\n",
+              100.0 * within / iterations);
+  return 0;
+}

@@ -1,0 +1,171 @@
+// google-benchmark micro-kernels: the hot loops behind the substrates.
+// Useful for regression-tracking the library itself (not a paper figure).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "continuum/gridsim2d.hpp"
+#include "datastore/kv_cluster.hpp"
+#include "datastore/taridx.hpp"
+#include "mdengine/integrator.hpp"
+#include "mdengine/simulation.hpp"
+#include "ml/ann_index.hpp"
+#include "ml/fps_sampler.hpp"
+#include "util/npy.hpp"
+#include "util/rng.hpp"
+
+using namespace mummi;
+
+namespace {
+
+md::System make_fluid(int n, double box_len, std::uint64_t seed) {
+  md::System s;
+  s.box.length = {box_len, box_len, box_len};
+  util::Rng rng(seed);
+  const int per_side = static_cast<int>(std::ceil(std::cbrt(n)));
+  const double spacing = box_len / per_side;
+  int added = 0;
+  for (int i = 0; i < per_side && added < n; ++i)
+    for (int j = 0; j < per_side && added < n; ++j)
+      for (int k = 0; k < per_side && added < n; ++k) {
+        s.add_particle({(i + 0.5) * spacing, (j + 0.5) * spacing,
+                        (k + 0.5) * spacing},
+                       0, 72.0);
+        ++added;
+      }
+  return s;
+}
+
+void BM_MdForceKernel(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  md::System s = make_fluid(n, std::cbrt(n / 8.0), 1);
+  md::TypeMatrixForceField ff(1, 1.2);
+  ff.set_pair(0, 0, {2.0, 0.47});
+  md::NeighborList list(1.2, 0.3);
+  list.build(s);
+  for (auto _ : state) {
+    std::fill(s.force.begin(), s.force.end(), md::Vec3{});
+    benchmark::DoNotOptimize(ff.compute(s, list));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(list.pairs().size()));
+}
+BENCHMARK(BM_MdForceKernel)->Arg(1000)->Arg(8000);
+
+void BM_NeighborRebuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  md::System s = make_fluid(n, std::cbrt(n / 8.0), 2);
+  md::NeighborList list(1.2, 0.3);
+  for (auto _ : state) list.build(s);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NeighborRebuild)->Arg(1000)->Arg(8000);
+
+void BM_LangevinStep(benchmark::State& state) {
+  md::System s = make_fluid(4096, 8.0, 3);
+  auto ff = std::make_shared<md::TypeMatrixForceField>(1, 1.2);
+  ff->set_pair(0, 0, {2.0, 0.47});
+  md::Simulation sim(std::move(s), ff,
+                     std::make_unique<md::Langevin>(310.0, 2.0, util::Rng(4)),
+                     {});
+  for (auto _ : state) sim.run(1);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LangevinStep);
+
+void BM_DdftStep(benchmark::State& state) {
+  cont::ContinuumConfig cfg;
+  cfg.grid = static_cast<int>(state.range(0));
+  cfg.inner_species = 8;
+  cfg.outer_species = 6;
+  cfg.n_proteins = 30;
+  cont::GridSim2D sim(cfg);
+  for (auto _ : state) sim.step(1);
+  state.SetItemsProcessed(state.iterations() * cfg.grid * cfg.grid * 14);
+}
+BENCHMARK(BM_DdftStep)->Arg(64)->Arg(128);
+
+void BM_NpyEncodeDecode(benchmark::State& state) {
+  std::vector<float> data(37 * 37 * 14);
+  util::Rng rng(5);
+  for (auto& v : data) v = static_cast<float>(rng.uniform());
+  const auto array = util::NpyArray::from_f32({14, 37, 37}, data);
+  for (auto _ : state) {
+    const auto bytes = util::npy_encode(array);
+    benchmark::DoNotOptimize(util::npy_decode(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long>(data.size() * 4));
+}
+BENCHMARK(BM_NpyEncodeDecode);
+
+void BM_KvSetGet(benchmark::State& state) {
+  ds::KvCluster kv(20);
+  util::Bytes payload(850);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 10000);
+    kv.set(key, payload);
+    benchmark::DoNotOptimize(kv.get(key));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_KvSetGet);
+
+void BM_TarAppend(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mummi_bm_tar_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    ds::TarIdx tar((dir / "bm.tar").string());
+    util::Bytes payload(17 * 1024);  // a CG analysis record
+    int i = 0;
+    for (auto _ : state) tar.append("m" + std::to_string(i++), payload);
+    state.SetBytesProcessed(state.iterations() * 17 * 1024);
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_TarAppend);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  ml::KdTreeIndex index(9);
+  util::Rng rng(6);
+  for (int i = 0; i < 35000; ++i) {
+    ml::HDPoint p;
+    p.id = static_cast<ml::PointId>(i);
+    p.coords.resize(9);
+    for (auto& c : p.coords) c = static_cast<float>(rng.normal());
+    index.add(p);
+  }
+  std::vector<float> q(9, 0.1f);
+  for (auto _ : state) benchmark::DoNotOptimize(index.knn(q, 10));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeKnn);
+
+void BM_FpsSelect(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ml::FpsSampler fps(9, 35000);
+    fps.set_history_enabled(false);
+    std::vector<ml::HDPoint> pts;
+    for (int i = 0; i < 5000; ++i) {
+      ml::HDPoint p;
+      p.id = static_cast<ml::PointId>(i);
+      p.coords.resize(9);
+      for (auto& c : p.coords) c = static_cast<float>(rng.normal());
+      pts.push_back(std::move(p));
+    }
+    fps.add_candidates(pts);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fps.select(10));
+  }
+}
+BENCHMARK(BM_FpsSelect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

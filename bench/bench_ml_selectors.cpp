@@ -1,0 +1,100 @@
+// Ablation for the ~165x ML-data claim (Sec. 1, Task 2): the farthest-point
+// Patch Selector is viable up to ~35,000 candidates per queue (rank update
+// 3-4 min when full), whereas the histogram-based Frame Selector sustains
+// ~9M candidates in the same budget — "capable of providing significantly
+// faster updates to ranking: 3-4 minutes for 9M candidates".
+//
+// We measure, for each sampler, the wall time of the full
+// ingest -> rank-update -> select cycle as candidate volume grows, and
+// report candidates-per-second of ranking work.
+
+#include <cstdio>
+
+#include "ml/binned_sampler.hpp"
+#include "ml/fps_sampler.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+using namespace mummi;
+
+namespace {
+
+std::vector<ml::HDPoint> random_patches(int n, int dim, util::Rng& rng,
+                                        ml::PointId base) {
+  std::vector<ml::HDPoint> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ml::HDPoint p;
+    p.id = base + static_cast<ml::PointId>(i);
+    p.coords.resize(static_cast<std::size_t>(dim));
+    for (auto& c : p.coords) c = static_cast<float>(rng.normal());
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(23);
+
+  std::printf("=== ML selector scaling: FPS (9-D) vs binned (3-D) ===\n\n");
+
+  std::printf("farthest-point sampler (Patch Selector), capacity 35k, after "
+              "500 prior selections:\n");
+  std::printf("%12s %16s %18s\n", "#candidates", "cycle time (s)",
+              "candidates/s");
+  double fps_rate_at_35k = 0;
+  for (int n : {5000, 15000, 35000}) {
+    ml::FpsSampler fps(9, 35000);
+    fps.set_history_enabled(false);
+    // Prior selections so rank updates have a real selected set to query.
+    fps.add_candidates(random_patches(500, 9, rng, 1));
+    (void)fps.select(500);
+    fps.add_candidates(random_patches(n, 9, rng, 1000000));
+    util::Stopwatch watch;
+    fps.update_ranks();
+    (void)fps.select(10);
+    const double dt = watch.elapsed();
+    const double rate = n / dt;
+    if (n == 35000) fps_rate_at_35k = rate;
+    std::printf("%12d %16.3f %18.0f\n", n, dt, rate);
+  }
+
+  std::printf("\nbinned sampler (Frame Selector), 6x8x6 bins:\n");
+  std::printf("%12s %16s %18s\n", "#candidates", "cycle time (s)",
+              "candidates/s");
+  double binned_rate = 0;
+  for (int n : {100000, 1000000, 4000000}) {
+    ml::BinnedSampler binned({{15, 30, 45, 60, 75},
+                              {45, 90, 135, 180, 225, 270, 315},
+                              {0.5, 1.0, 1.5, 2.0, 2.5}},
+                             0.8, 3);
+    binned.set_history_enabled(false);
+    util::Stopwatch watch;
+    constexpr int kBatch = 100000;
+    for (int done = 0; done < n; done += kBatch) {
+      std::vector<ml::HDPoint> batch;
+      batch.reserve(kBatch);
+      for (int i = 0; i < kBatch; ++i) {
+        batch.push_back({static_cast<ml::PointId>(done + i),
+                         {static_cast<float>(rng.uniform(0, 90)),
+                          static_cast<float>(rng.uniform(0, 360)),
+                          static_cast<float>(rng.uniform(0, 3))}});
+      }
+      binned.add_candidates(batch);
+    }
+    binned.update_ranks();
+    (void)binned.select(10);
+    const double dt = watch.elapsed();
+    binned_rate = n / dt;
+    std::printf("%12d %16.3f %18.0f\n", n, dt, binned_rate);
+  }
+
+  std::printf("\ncandidate volume sustainable per ranking budget: binned/FPS "
+              "= %.0fx\n", binned_rate / fps_rate_at_35k);
+  std::printf("(paper: 9,837,316 binned candidates vs 5 x 35,000 FPS "
+              "candidates ~ 56x pool size,\n delivered by ~165x more "
+              "candidate data processed in the same 3-4 min budget)\n");
+  return 0;
+}

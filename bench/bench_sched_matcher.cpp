@@ -1,0 +1,100 @@
+// Reproduces the Sec. 5.2 matcher experiment: "Under Flux's emulated
+// environment with a resource graph configuration similar to 4000 Summit
+// nodes and the same job mix (24,000 jobs with 1 GPU and 3 CPU cores each,
+// and 1 job with 150 nodes, each with 24 cores), we measured a 670x
+// improvement" from the first-match policy over the exhaustive
+// low-resource-ID traversal.
+
+#include <cstdio>
+
+#include "resgraph/matcher.hpp"
+#include "util/clock.hpp"
+
+using namespace mummi;
+
+namespace {
+
+struct MatchRun {
+  std::uint64_t visits = 0;
+  double wall_seconds = 0;
+  int placed = 0;
+};
+
+MatchRun run_mix(sched::Matcher& matcher, int nodes, int gpu_jobs,
+                 int measure_first, double& extrapolated_seconds) {
+  sched::ResourceGraph graph(sched::ClusterSpec::summit(nodes));
+  MatchRun result;
+
+  // The one continuum-style job: 150 nodes x 24 cores.
+  sched::Request continuum;
+  continuum.slot = sched::Slot{24, 0};
+  continuum.nslots = 150;
+  continuum.one_slot_per_node = true;
+
+  sched::Request sim;
+  sim.slot = sched::Slot{3, 1};
+
+  util::Stopwatch watch;
+  if (auto alloc = matcher.match(graph, continuum)) {
+    graph.allocate(*alloc);
+    ++result.placed;
+  }
+  int measured = 0;
+  double measured_time = 0;
+  for (int j = 0; j < gpu_jobs; ++j) {
+    if (j == measure_first) measured_time = watch.elapsed(), measured = j;
+    const auto alloc = matcher.match(graph, sim);
+    if (!alloc) break;
+    graph.allocate(*alloc);
+    ++result.placed;
+  }
+  result.wall_seconds = watch.elapsed();
+  result.visits = matcher.visits();
+  if (measured > 0 && result.placed - 1 > measured) {
+    // Per-match cost is ~constant for the exhaustive policy; extrapolate in
+    // case the caller truncated the measured range.
+    extrapolated_seconds =
+        measured_time / measured * static_cast<double>(gpu_jobs);
+  } else {
+    extrapolated_seconds = result.wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kNodes = 4000;
+  constexpr int kJobs = 24000;
+
+  std::printf("=== Sec. 5.2: matcher policy at 4000-node scale ===\n");
+  std::printf("job mix: 1 x (150 nodes x 24 cores) + %d x (1 GPU + 3 "
+              "cores)\n\n", kJobs);
+
+  sched::FirstMatchMatcher fast;
+  double fast_extrap = 0;
+  const auto fm = run_mix(fast, kNodes, kJobs, 0, fast_extrap);
+
+  sched::ExhaustiveMatcher slow;
+  double slow_extrap = 0;
+  const auto ex = run_mix(slow, kNodes, kJobs, 2000, slow_extrap);
+
+  std::printf("%-26s %18s %14s %10s\n", "policy", "vertex visits",
+              "wall seconds", "placed");
+  std::printf("%-26s %18llu %14.3f %10d\n", "first-match (the fix)",
+              static_cast<unsigned long long>(fm.visits), fm.wall_seconds,
+              fm.placed);
+  std::printf("%-26s %18llu %14.3f %10d\n", "exhaustive low-id (stock)",
+              static_cast<unsigned long long>(ex.visits), ex.wall_seconds,
+              ex.placed);
+
+  const double visit_ratio =
+      static_cast<double>(ex.visits) / static_cast<double>(fm.visits);
+  const double wall_ratio = ex.wall_seconds / std::max(fm.wall_seconds, 1e-9);
+  std::printf("\ntraversal-cost improvement: %.0fx\n", visit_ratio);
+  std::printf("wall-clock improvement:     %.0fx\n", wall_ratio);
+  std::printf("(paper: 670x end-to-end in Flux's emulated environment; the "
+              "shape to hold is\n two or more orders of magnitude from "
+              "greedy first-match placement)\n");
+  return 0;
+}

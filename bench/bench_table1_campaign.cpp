@@ -1,0 +1,102 @@
+// Reproduces Table 1 and the campaign-summary paragraph of Sec. 5.1:
+// the run schedule at multiple scales, total node hours, and the counts of
+// snapshots / patches / selections / CG and AA simulations with their
+// accumulated trajectory totals.
+//
+// Usage: bench_table1_campaign [--small]
+//   --small runs a scaled-down schedule (for quick checks / CI).
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/clock.hpp"
+#include "util/string_util.hpp"
+#include "wm/campaign.hpp"
+
+using namespace mummi;
+
+int main(int argc, char** argv) {
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+
+  wm::CampaignConfig config;
+  if (small) {
+    config.runs = {{100, 2, 2}, {500, 3, 1}, {1000, 4, 1}};
+    config.proteins_per_snapshot = 60;
+  }
+
+  std::printf("=== Table 1: campaign runs at different scales ===\n");
+  std::printf("%8s %10s %6s %12s\n", "#nodes", "wall-time", "#runs",
+              "node hours");
+
+  util::Stopwatch watch;
+  wm::Campaign campaign(config);
+  wm::CampaignResult result = campaign.run();
+
+  for (const auto& row : result.table1)
+    std::printf("%8d %8.0f h %6d %12.0f\n", row.nodes, row.walltime_h,
+                row.count, row.node_hours());
+  std::printf("%8s %10s %6s %12.0f  (paper: 600,600)\n", "", "", "total",
+              result.node_hours);
+
+  std::printf("\n=== Sec. 5.1 campaign summary ===\n");
+  std::printf("%-38s %12llu  (paper: 20,507)\n", "continuum snapshots",
+              static_cast<unsigned long long>(result.snapshots));
+  std::printf("%-38s %12.1f  (paper: 20,507 us = 20.5 ms)\n",
+              "continuum trajectory (us)", result.continuum_total_us);
+  std::printf("%-38s %12llu  (paper: 6,828,831)\n", "patches created",
+              static_cast<unsigned long long>(result.patches_created));
+  std::printf("%-38s %12llu  (paper: 34,523 = 0.5%%)\n", "patches selected (CG sims)",
+              static_cast<unsigned long long>(result.patches_selected));
+  std::printf("%-38s %12.2f%%\n", "  selection fraction",
+              result.patches_created
+                  ? 100.0 * static_cast<double>(result.patches_selected) /
+                        static_cast<double>(result.patches_created)
+                  : 0.0);
+  std::printf("%-38s %12llu  (paper: 9,837,316)\n", "CG frame candidates",
+              static_cast<unsigned long long>(result.frame_candidates));
+  std::printf("%-38s %12llu  (paper: 9632 = 0.098%%)\n", "frames selected (AA sims)",
+              static_cast<unsigned long long>(result.frames_selected));
+  std::printf("%-38s %12.3f%%\n", "  selection fraction",
+              result.frame_candidates
+                  ? 100.0 * static_cast<double>(result.frames_selected) /
+                        static_cast<double>(result.frame_candidates)
+                  : 0.0);
+  std::printf("%-38s %12zu  (paper: 34,523 sims)\n", "CG simulations recorded",
+              result.cg_lengths_us.size());
+  std::printf("%-38s %12.1f  (paper: 96,670 us = 96.67 ms)\n",
+              "CG trajectory total (us)", result.cg_total_us);
+  std::printf("%-38s %12zu  (paper: 9632 sims)\n", "AA simulations recorded",
+              result.aa_lengths_ns.size());
+  std::printf("%-38s %12.1f  (paper: 326,000 ns = 326 us)\n",
+              "AA trajectory total (ns)", result.aa_total_ns);
+
+  std::printf("\n=== Data ledger (Sec. 5.2: several TB/day, >1B files) ===\n");
+  std::printf("%-28s %14s\n", "category", "bytes");
+  std::printf("%-28s %14s\n", "continuum snapshots",
+              util::human_bytes(result.ledger.bytes_continuum).c_str());
+  std::printf("%-28s %14s\n", "patches",
+              util::human_bytes(result.ledger.bytes_patches).c_str());
+  std::printf("%-28s %14s\n", "CG trajectory frames",
+              util::human_bytes(result.ledger.bytes_cg_frames).c_str());
+  std::printf("%-28s %14s\n", "CG analysis",
+              util::human_bytes(result.ledger.bytes_cg_analysis).c_str());
+  std::printf("%-28s %14s\n", "AA trajectory frames",
+              util::human_bytes(result.ledger.bytes_aa_frames).c_str());
+  std::printf("%-28s %14s\n", "backmapping",
+              util::human_bytes(result.ledger.bytes_backmap).c_str());
+  std::printf("%-28s %14s\n", "total produced",
+              util::human_bytes(result.ledger.bytes_total()).c_str());
+  std::printf("%-28s %14s  (trajectories stay on node-local RAM disk)\n",
+              "persisted to GPFS",
+              util::human_bytes(result.ledger.bytes_persisted()).c_str());
+  const double days = result.node_hours > 0 ? result.node_hours / (1000 * 24) : 1;
+  std::printf("%-28s %14s  (over ~%.0f 1000-node days; paper: several TB/day)\n",
+              "persisted per day",
+              util::human_bytes(result.ledger.bytes_persisted() / days).c_str(),
+              days);
+  std::printf("%-28s %14llu  (paper: 1,034,232,900)\n", "files total",
+              static_cast<unsigned long long>(result.ledger.files_total));
+
+  std::printf("\n[campaign simulated in %.1f s wall time]\n", watch.elapsed());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the campaign-figure benches.
+//
+// Figs. 3-5 are statistics of the same campaign; each bench binary runs the
+// campaign itself so `for b in build/bench/*; do $b; done` regenerates every
+// figure independently. By default a 1/6-scale schedule keeps each binary
+// under a minute; pass --full for the complete Table-1 schedule.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+
+#include "wm/campaign.hpp"
+
+namespace mummi::bench {
+
+inline wm::CampaignConfig campaign_config(int argc, char** argv) {
+  wm::CampaignConfig config;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  if (small) {
+    config.runs = {{100, 2, 2}, {500, 3, 1}, {1000, 4, 1}};
+    config.proteins_per_snapshot = 60;
+  } else if (!full) {
+    // ~1/6 of the Table-1 node hours, same mix of scales.
+    config.runs = {{100, 6, 1}, {100, 12, 1}, {500, 12, 1},
+                   {1000, 24, 3}, {4000, 4, 1}};
+    config.proteins_per_snapshot = 150;
+  }
+  return config;
+}
+
+inline const char* scale_label(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--full") == 0) return "full Table-1";
+  if (argc > 1 && std::strcmp(argv[1], "--small") == 0) return "small";
+  return "1/6-scale";
+}
+
+}  // namespace mummi::bench

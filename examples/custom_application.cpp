@@ -1,0 +1,175 @@
+// Generalizability demo (paper Sec. 4.5): swapping the application
+// components while reusing the coordination layer unchanged.
+//
+// The paper's framework "has enabled us to utilize MuMMI for another
+// application: namely, understanding biological interactions of
+// neuroreceptors." This example builds such a hypothetical two-scale
+// neuroreceptor study:
+//   - a *different* encoder (plain pooled-moments PCA-style reduction into
+//     4-D instead of the 9-D metric-learning DNN),
+//   - a *different* selection strategy (binned sampler instead of FPS),
+//   - *different* job types wired purely through configuration files,
+//   - a custom JobTracker subclass with an application-specific
+//     failure policy,
+//   - the same Scheduler/Maestro/WorkflowManager/datastore underneath.
+//
+// Run: ./custom_application
+
+#include <cstdio>
+
+#include "datastore/store_factory.hpp"
+#include "ml/binned_sampler.hpp"
+#include "sched/executor.hpp"
+#include "util/rng.hpp"
+#include "wm/workflow_manager.hpp"
+
+using namespace mummi;
+
+namespace {
+
+/// Application component 1: a simple dimensionality reduction in place of
+/// the metric-learning DNN — "a simpler dimensionality reduction (e.g.,
+/// principal component analysis)" per Task 2.
+std::vector<float> encode_receptor_state(util::Rng& rng) {
+  // Stand-in for (gating charge, pore radius, ligand distance, tilt).
+  return {static_cast<float>(rng.normal(0.5, 0.2)),
+          static_cast<float>(rng.normal(1.2, 0.3)),
+          static_cast<float>(rng.exponential(1.0)),
+          static_cast<float>(rng.uniform(0.0, 90.0))};
+}
+
+/// Application component 2: a tracker that gives flaky docking jobs many
+/// retries but never retries production runs (custom policy by inheritance).
+class DockingTracker final : public wm::JobTracker {
+ public:
+  using JobTracker::JobTracker;
+  [[nodiscard]] bool should_resubmit(const sched::Job& job) const override {
+    return job.state == sched::JobState::kFailed && job.restarts < 5;
+  }
+};
+
+}  // namespace
+
+int main() {
+  util::Rng rng(7);
+
+  std::printf("=== custom application: neuroreceptor two-scale study ===\n\n");
+
+  // Coordination config lives in plain INI — the application only edits
+  // configuration, not framework code.
+  const auto config = util::Config::parse(
+      "[datastore]\n"
+      "backend = taridx\n"          // single switch: archive instead of files
+      "root = /tmp/mummi_custom_app\n"
+      "[job.dock_setup]\n"          // replaces cg_setup
+      "cores = 4\n"
+      "max_restarts = 5\n"
+      "[job.receptor_md]\n"         // replaces cg_sim
+      "cores = 2\n"
+      "gpus = 1\n");
+
+  auto store = ds::make_store(config);
+  std::printf("datastore backend: %s\n", store->backend().c_str());
+
+  // The same scheduler stack as the RAS-RAF app.
+  util::WallClock clock;
+  sched::Scheduler scheduler(sched::ClusterSpec::laptop(),
+                             sched::MatchPolicy::kFirstMatch, clock);
+  wm::DirectBackend maestro(scheduler);
+
+  wm::TrackerSet trackers;
+  trackers.add(std::make_unique<DockingTracker>(
+      wm::JobTracker::config_from(config, "dock_setup")));
+  trackers.add(std::make_unique<wm::JobTracker>(
+      wm::JobTracker::config_from(config, "receptor_md")));
+
+  // Selection: a 4-D binned sampler replaces the FPS queues; the
+  // PatchSelector slot is unused (the WmConfig simply leaves those job
+  // types empty).
+  ml::BinnedSampler selector({{0.25f, 0.5f, 0.75f},
+                              {0.8f, 1.2f, 1.6f},
+                              {0.5f, 1.5f},
+                              {30.0f, 60.0f}},
+                             /*importance=*/0.7, /*seed=*/3);
+
+  // Generate candidate receptor conformations from the (hypothetical)
+  // coarse scale, select the most novel, and push them through the job
+  // pipeline manually — the WM loop for a two-type application is small
+  // enough to inline, which is exactly the paper's "templates provided by
+  // the MuMMI workflow" usage model.
+  std::vector<ml::HDPoint> candidates;
+  for (std::uint64_t id = 1; id <= 500; ++id)
+    candidates.push_back({id, encode_receptor_state(rng)});
+  selector.add_candidates(candidates);
+  std::printf("selector: %zu candidates across %zu bins\n",
+              selector.candidate_count(), selector.n_bins());
+
+  // Payloads: docking setup writes an input record; receptor MD consumes it.
+  sched::PayloadRegistry payloads;
+  payloads.register_type("dock_setup", [&](const sched::Job& job) {
+    // Flaky external docking tool: fails 40% of the time; the custom
+    // tracker's 5 retries absorb it.
+    static thread_local util::Rng flaky(99);
+    if (flaky.uniform() < 0.4) return false;
+    store->put_text("docked", "conf-" + std::to_string(job.spec.payload),
+                    "docked-pose");
+    return true;
+  });
+  payloads.register_type("receptor_md", [&](const sched::Job& job) {
+    const auto key = "conf-" + std::to_string(job.spec.payload);
+    if (!store->exists("docked", key)) return false;
+    store->move("docked", key, "simulated");  // tagging, same as feedback
+    return true;
+  });
+  sched::InlineExecutor executor(std::move(payloads));
+  scheduler.on_start([&](const sched::Job& job) {
+    const sched::JobId id = job.id;
+    executor.launch(job, [&, id](bool ok) { scheduler.complete(id, ok); });
+  });
+
+  // Resubmission policy comes from the trackers (restart counts tracked per
+  // logical work item).
+  int resubmitted = 0;
+  std::map<std::uint64_t, int> restarts;
+  scheduler.on_finish([&](const sched::Job& job) {
+    if (job.state != sched::JobState::kFailed) return;
+    sched::Job logical = job;
+    logical.restarts = restarts[job.spec.payload];
+    if (trackers.tracker(job.spec.type).should_resubmit(logical)) {
+      ++restarts[job.spec.payload];
+      maestro.submit(job.spec);
+      ++resubmitted;
+    }
+  });
+
+  // Drive: select 20 conformations, dock them, simulate them.
+  int docked = 0, simulated = 0;
+  for (const auto& pick : selector.select(20)) {
+    maestro.submit(trackers.tracker("dock_setup").make_spec(pick.id));
+    maestro.poll();
+  }
+  docked = static_cast<int>(store->keys("docked", "*").size());
+  for (const auto& key : store->keys("docked", "*")) {
+    const auto id = std::stoull(key.substr(5));
+    maestro.submit(trackers.tracker("receptor_md").make_spec(id));
+    maestro.poll();
+  }
+  simulated = static_cast<int>(store->keys("simulated", "*").size());
+  store->flush();
+
+  std::printf("docking: 20 selected, %d docked (%d resubmissions absorbed "
+              "by the custom tracker)\n",
+              docked, resubmitted);
+  std::printf("receptor MD: %d simulated; records tagged into 'simulated'\n",
+              simulated);
+  std::printf("selected-bin histogram is balanced across conformational "
+              "space (importance sampling):\n  non-empty bins selected "
+              "from: ");
+  int bins_used = 0;
+  for (auto c : selector.selected_histogram())
+    if (c > 0) ++bins_used;
+  std::printf("%d\n", bins_used);
+  std::printf("\nsame coordination stack, different science: zero framework "
+              "changes.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Tour of the generic data interface (paper Sec. 4.2): the same byte-stream
+// records redirected "effortlessly to a file, an archive, or a database —
+// all with a single configuration switch"; plus the behaviours each backend
+// is chosen for: armored checkpoints on the filesystem, append-only crash
+// safety and inode reduction in tar archives, and fast rename-based tagging
+// in the in-memory database.
+//
+// Run: ./datastore_tour
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datastore/store_factory.hpp"
+#include "datastore/tar_store.hpp"
+#include "datastore/taridx.hpp"
+#include "util/checkpoint.hpp"
+#include "util/clock.hpp"
+#include "util/npy.hpp"
+#include "util/rng.hpp"
+
+using namespace mummi;
+
+int main() {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("mummi_tour_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(root);
+
+  // The record: a patch-like numpy array, serialized once.
+  util::Rng rng(5);
+  std::vector<float> density(14 * 37 * 37);
+  for (auto& v : density) v = static_cast<float>(rng.uniform());
+  const auto record =
+      util::npy_encode(util::NpyArray::from_f32({14, 37, 37}, density));
+  std::printf("record: a (14,37,37) float32 .npy, %zu bytes\n\n",
+              record.size());
+
+  // --- one configuration switch, three backends -----------------------------
+  for (const char* backend : {"filesystem", "taridx", "redis"}) {
+    util::Config cfg;
+    cfg.set("datastore.backend", backend);
+    cfg.set("datastore.root", (root / backend).string());
+    cfg.set("datastore.servers", "4");
+    auto store = ds::make_store(cfg);
+    store->put("patches", "patch-001", record);
+    const auto array = store->get_npy("patches", "patch-001");
+    std::printf("backend %-12s: stored and decoded shape (%zu,%zu,%zu)\n",
+                store->backend().c_str(), array.shape[0], array.shape[1],
+                array.shape[2]);
+    store->flush();
+  }
+
+  // --- why filesystem: armored checkpoints -----------------------------------
+  std::printf("\nfilesystem: armored checkpoint survives a torn write\n");
+  util::CheckpointFile ckpt((root / "wm.ckpt").string());
+  ckpt.save(util::to_bytes("campaign state v1"));
+  ckpt.save(util::to_bytes("campaign state v2"));
+  util::write_file((root / "wm.ckpt").string(), util::to_bytes("garbage"));
+  std::printf("  primary corrupted -> restored: \"%s\"\n",
+              util::to_string(*ckpt.load()).c_str());
+
+  // --- why taridx: inode reduction + crash recovery --------------------------
+  std::printf("\ntaridx: 1000 records -> 2 inodes, index rebuilds from the "
+              "tar\n");
+  const auto tar_path = (root / "frames.tar").string();
+  {
+    ds::TarIdx tar(tar_path);
+    util::Bytes small(850);  // frame-id records
+    for (int i = 0; i < 1000; ++i)
+      tar.append("frame-" + std::to_string(i), small);
+    tar.flush();
+  }
+  util::remove_file(tar_path + ".idx");  // lose the sidecar
+  {
+    ds::TarIdx recovered(tar_path);
+    std::printf("  sidecar deleted -> rebuilt index holds %zu members\n",
+                recovered.count());
+    std::printf("  archive remains a standard tar readable by any decoder\n");
+  }
+
+  // --- why redis: high-rate feedback tagging ---------------------------------
+  std::printf("\nredis: feedback tagging at memory speed\n");
+  util::Config cfg;
+  cfg.set("datastore.backend", "redis");
+  auto red = ds::make_store(cfg);
+  for (int i = 0; i < 20000; ++i)
+    red->put("rdf-pending", "f" + std::to_string(i), util::Bytes(128));
+  util::Stopwatch watch;
+  for (const auto& key : red->keys("rdf-pending", "*"))
+    red->move("rdf-pending", key, "rdf-done");
+  std::printf("  tagged 20,000 frames out of the pending namespace in %.3f "
+              "s\n", watch.elapsed());
+  std::printf("  pending now: %zu, done: %zu\n",
+              red->keys("rdf-pending", "*").size(),
+              red->keys("rdf-done", "*").size());
+
+  std::filesystem::remove_all(root);
+  std::printf("\ntour complete.\n");
+  return 0;
+}

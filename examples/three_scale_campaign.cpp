@@ -1,0 +1,268 @@
+// The three-scale RAS-RAF-membrane application (paper Sec. 4.1), wired end
+// to end with real physics at toy size, under the real coordination stack:
+// fluxlite scheduler + Maestro + WorkflowManager + trackers + both feedback
+// loops, with job payloads executing the actual createsim / MD / backmapping
+// code through a ThreadExecutor.
+//
+// Run: ./three_scale_campaign
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "continuum/gridsim2d.hpp"
+#include "util/log.hpp"
+#include "coupling/analysis.hpp"
+#include "coupling/backmap.hpp"
+#include "coupling/createsim.hpp"
+#include "coupling/encoders.hpp"
+#include "coupling/patch.hpp"
+#include "datastore/red_store.hpp"
+#include "feedback/aa2cg.hpp"
+#include "feedback/cg2cont.hpp"
+#include "mdengine/integrator.hpp"
+#include "mdengine/simulation.hpp"
+#include "wm/workflow_manager.hpp"
+
+using namespace mummi;
+
+namespace {
+
+/// Application state shared by job payloads (guarded: payloads run on pool
+/// threads).
+struct AppState {
+  std::mutex mutex;
+  util::Rng rng{2026};
+  std::map<std::uint64_t, coupling::Patch> patches;
+  std::map<std::uint64_t, coupling::CgSystemInfo> cg_ready;
+  std::map<std::uint64_t, coupling::CgFrameInfo> new_frames;  // to ingest
+  std::map<std::uint64_t, coupling::CgFrameInfo> frame_catalog;  // persistent
+  std::map<std::uint64_t, coupling::AaSystemInfo> aa_ready;
+  std::shared_ptr<ds::RedStore> store = std::make_shared<ds::RedStore>(4);
+  std::uint64_t next_frame_id = 1;
+  int cg_sims_done = 0;
+  int aa_sims_done = 0;
+};
+
+}  // namespace
+
+int main() {
+  util::Log::set_level(util::LogLevel::kWarn);
+  AppState app;
+
+  // --- the macro scale ------------------------------------------------------
+  cont::ContinuumConfig ccfg;
+  ccfg.grid = 28;
+  ccfg.extent = 56.0;
+  ccfg.inner_species = 3;
+  ccfg.outer_species = 2;
+  ccfg.n_proteins = 6;
+  cont::GridSim2D continuum(ccfg);
+
+  // --- coordination: scheduler, maestro, trackers, selectors, WM ------------
+  util::WallClock clock;
+  sched::Scheduler scheduler(sched::ClusterSpec::laptop(),
+                             sched::MatchPolicy::kFirstMatch, clock);
+  wm::DirectBackend maestro(scheduler);
+
+  wm::TrackerSet trackers;
+  const auto tracker_cfg = util::Config::parse(
+      "[job.cg_setup]\ncores = 2\n"
+      "[job.cg_sim]\ncores = 1\ngpus = 1\n"
+      "[job.aa_setup]\ncores = 2\n"
+      "[job.aa_sim]\ncores = 1\ngpus = 1\n");
+  for (const auto* type : {"cg_setup", "cg_sim", "aa_setup", "aa_sim"})
+    trackers.add(std::make_unique<wm::JobTracker>(
+        wm::JobTracker::config_from(tracker_cfg, type)));
+
+  wm::PatchSelector patch_selector(9, 5, 35000);
+  wm::FrameSelector frame_selector(0.8, 11);
+
+  wm::WmConfig wm_cfg;
+  wm_cfg.gpu_frac_cg = 0.5;  // laptop: 2 GPUs -> 1 CG + 1 AA
+  wm_cfg.cg_ready_target = 1;
+  wm_cfg.aa_ready_target = 1;
+  wm::WorkflowManager wm(wm_cfg, maestro, trackers, patch_selector,
+                         frame_selector);
+
+  // --- feedback managers -----------------------------------------------------
+  fb::CgToContinuumFeedback cg_feedback(app.store, &continuum);
+  fb::Aa2CgConfig aa_fb_cfg;
+  aa_fb_cfg.pool_size = 2;
+  fb::AaToCgFeedback aa_feedback(app.store, aa_fb_cfg);
+  wm.add_feedback(&cg_feedback);
+  wm.add_feedback(&aa_feedback);
+
+  // --- application payloads (run on worker threads) --------------------------
+  coupling::PatchEncoder encoder(continuum.n_species(), 7);
+  sched::PayloadRegistry payloads;
+  payloads.register_type("cg_setup", [&](const sched::Job& job) {
+    std::lock_guard lock(app.mutex);
+    auto it = app.patches.find(job.spec.payload);
+    if (it == app.patches.end()) return false;
+    coupling::CgBuildConfig cfg;
+    cfg.lipids_per_nm2 = 0.25;
+    cfg.minimize_steps = 40;
+    cfg.relax_steps = 15;
+    app.cg_ready.emplace(job.spec.payload,
+                         coupling::CreateSim(cfg).build(it->second, app.rng));
+    return true;
+  });
+  payloads.register_type("cg_sim", [&](const sched::Job& job) {
+    coupling::CgSystemInfo info;
+    cont::ProteinState state;
+    {
+      std::lock_guard lock(app.mutex);
+      auto it = app.cg_ready.find(job.spec.payload);
+      if (it == app.cg_ready.end()) return false;
+      info = std::move(it->second);
+      app.cg_ready.erase(it);
+      state = app.patches.at(job.spec.payload).center_state();
+    }
+    coupling::CgAnalysis analysis(info, job.spec.payload);
+    md::SimulationConfig scfg;
+    scfg.dt = 0.01;
+    scfg.frame_interval = 20;
+    md::Simulation sim(
+        info.system,
+        coupling::make_cg_forcefield(
+            static_cast<int>(info.heads_by_species.size())),
+        std::make_unique<md::Langevin>(310.0, 2.0, util::Rng(job.spec.payload)),
+        scfg);
+    std::vector<coupling::CgFrameInfo> frames;
+    sim.on_frame([&](const md::System& sys, long step, md::real) {
+      frames.push_back(analysis.analyze(sys, step));
+    });
+    sim.run(100);
+    {
+      std::lock_guard lock(app.mutex);
+      // Publish RDFs for feedback and frame candidates for the selector.
+      fb::FeedbackRecord record;
+      record.state = state;
+      record.rdfs = analysis.take_rdfs();
+      app.store->put("rdf-pending",
+                     "sim-" + std::to_string(job.spec.payload),
+                     record.serialize());
+      info.system = sim.system();
+      for (const auto& f : frames) {
+        app.new_frames.emplace(app.next_frame_id, f);
+        app.frame_catalog.emplace(app.next_frame_id, f);
+        ++app.next_frame_id;
+      }
+      app.cg_ready.emplace(job.spec.payload, std::move(info));  // for backmap
+      ++app.cg_sims_done;
+    }
+    return true;
+  });
+  payloads.register_type("aa_setup", [&](const sched::Job& job) {
+    std::lock_guard lock(app.mutex);
+    auto frame = app.frame_catalog.find(job.spec.payload);
+    if (frame == app.frame_catalog.end()) return false;
+    auto cg = app.cg_ready.find(frame->second.sim_id);
+    if (cg == app.cg_ready.end()) return false;
+    coupling::AaBuildConfig cfg;
+    cfg.minimize_steps = 30;
+    cfg.restrained_steps = 15;
+    app.aa_ready.emplace(job.spec.payload,
+                         coupling::Backmapper(cfg).build(cg->second, app.rng));
+    return true;
+  });
+  payloads.register_type("aa_sim", [&](const sched::Job& job) {
+    coupling::AaSystemInfo info;
+    {
+      std::lock_guard lock(app.mutex);
+      auto it = app.aa_ready.find(job.spec.payload);
+      if (it == app.aa_ready.end()) return false;
+      info = std::move(it->second);
+      app.aa_ready.erase(it);
+    }
+    coupling::AaAnalysis analysis(info.backbone, job.spec.payload);
+    md::SimulationConfig scfg;
+    scfg.dt = 0.002;
+    scfg.frame_interval = 15;
+    md::Simulation sim(info.system, coupling::make_aa_forcefield(),
+                       std::make_unique<md::Langevin>(
+                           310.0, 5.0, util::Rng(job.spec.payload * 31)),
+                       scfg);
+    sim.on_frame([&](const md::System& sys, long step, md::real) {
+      std::lock_guard lock(app.mutex);
+      app.store->put_text(
+          "ss-pending",
+          "f" + std::to_string(job.spec.payload) + "-" + std::to_string(step),
+          analysis.analyze(sys));
+    });
+    sim.run(45);
+    std::lock_guard lock(app.mutex);
+    ++app.aa_sims_done;
+    return true;
+  });
+
+  util::ThreadPool pool(2);
+  sched::ThreadExecutor executor(pool, std::move(payloads));
+  std::mutex sched_mutex;
+  scheduler.on_start([&](const sched::Job& job) {
+    const sched::JobId id = job.id;
+    executor.launch(job, [&, id](bool ok) {
+      std::lock_guard lock(sched_mutex);
+      scheduler.complete(id, ok);
+    });
+  });
+
+  // --- the coordination loop --------------------------------------------------
+  std::printf("three-scale campaign: continuum + CG + AA on a laptop spec\n");
+  coupling::PatchCreator patch_creator(13, 10.0);
+  std::uint64_t next_patch_id = 1;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    // Task 1: advance the continuum, cut patches, encode, ingest.
+    continuum.step(10);
+    const auto patches = patch_creator.create(continuum.snapshot(), next_patch_id);
+    std::vector<ml::HDPoint> encoded;
+    {
+      std::lock_guard lock(app.mutex);
+      for (const auto& p : patches) {
+        encoded.push_back({p.id, encoder.encode(p)});
+        app.patches.emplace(p.id, p);
+      }
+    }
+    wm.ingest_patches(static_cast<int>(cycle % 5), encoded);
+
+    // Task 2 ingestion for AA: encoded CG frames discovered so far.
+    {
+      std::lock_guard lock(app.mutex);
+      std::vector<ml::HDPoint> frame_pts;
+      for (const auto& [id, f] : app.new_frames)
+        frame_pts.push_back({id, f.descriptor()});
+      if (!frame_pts.empty()) wm.ingest_frames(frame_pts);
+      app.new_frames.clear();  // handed to the selector
+    }
+
+    // Task 3: keep the machine loaded; let payloads run.
+    {
+      std::lock_guard lock(sched_mutex);
+      wm.maintain(20);
+    }
+    pool.wait_idle();
+    {
+      std::lock_guard lock(sched_mutex);
+      wm.maintain(20);
+    }
+    pool.wait_idle();
+
+    // Task 4: feedback.
+    const auto stats = wm.run_feedback();
+    std::printf(
+        "cycle %d: t=%5.2f us | patches %zu | cg done %d | aa done %d | "
+        "feedback frames %zu + %zu\n",
+        cycle, continuum.time_us(), app.patches.size(), app.cg_sims_done,
+        app.aa_sims_done, stats[0].frames, stats[1].frames);
+  }
+
+  std::printf("\nconsensus secondary structure from AA->CG feedback: %s\n",
+              aa_feedback.params().consensus.empty()
+                  ? "(no AA frames yet)"
+                  : aa_feedback.params().consensus.c_str());
+  std::printf("continuum coupling (state 0, species 0): %+.3f\n",
+              continuum.protein_lipid_coupling(cont::ProteinState::kRasA, 0));
+  std::printf("campaign complete.\n");
+  return 0;
+}

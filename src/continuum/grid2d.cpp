@@ -1,0 +1,20 @@
+#include "continuum/grid2d.hpp"
+
+#include <cmath>
+
+namespace mummi::cont {
+
+double Grid2d::interpolate(double gi, double gj) const {
+  const double fi = std::floor(gi);
+  const double fj = std::floor(gj);
+  const int i0 = wrap(static_cast<int>(fi));
+  const int j0 = wrap(static_cast<int>(fj));
+  const int i1 = wrap(i0 + 1);
+  const int j1 = wrap(j0 + 1);
+  const double ti = gi - fi;
+  const double tj = gj - fj;
+  return at(i0, j0) * (1 - ti) * (1 - tj) + at(i1, j0) * ti * (1 - tj) +
+         at(i0, j1) * (1 - ti) * tj + at(i1, j1) * ti * tj;
+}
+
+}  // namespace mummi::cont

@@ -1,0 +1,64 @@
+// Periodic 2-D scalar fields for the continuum (DDFT) model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mummi::cont {
+
+/// Square periodic grid of doubles with wrap-around indexing and the
+/// difference operators the DDFT solver needs.
+class Grid2d {
+ public:
+  Grid2d() = default;
+  Grid2d(int n, double fill = 0.0)
+      : n_(n), data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                     fill) {
+    MUMMI_CHECK_MSG(n > 0, "grid size must be positive");
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(int i, int j) { return data_[index(i, j)]; }
+  [[nodiscard]] double at(int i, int j) const { return data_[index(i, j)]; }
+
+  /// Periodic access (any integer i, j).
+  [[nodiscard]] double atp(int i, int j) const {
+    return data_[index(wrap(i), wrap(j))];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  [[nodiscard]] int wrap(int i) const { return ((i % n_) + n_) % n_; }
+
+  /// Five-point Laplacian at (i, j) with grid spacing h.
+  [[nodiscard]] double laplacian(int i, int j, double h) const {
+    return (atp(i + 1, j) + atp(i - 1, j) + atp(i, j + 1) + atp(i, j - 1) -
+            4.0 * atp(i, j)) /
+           (h * h);
+  }
+
+  [[nodiscard]] double sum() const {
+    double s = 0;
+    for (double v : data_) s += v;
+    return s;
+  }
+
+  /// Bilinear interpolation at fractional grid coordinates (periodic).
+  [[nodiscard]] double interpolate(double gi, double gj) const;
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mummi::cont

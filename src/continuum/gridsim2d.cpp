@@ -1,0 +1,286 @@
+#include "continuum/gridsim2d.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mummi::cont {
+
+GridSim2D::GridSim2D(ContinuumConfig config)
+    : config_(config),
+      h_(config.extent / config.grid),
+      rng_(config.seed) {
+  const int ns = n_species();
+  MUMMI_CHECK_MSG(ns > 0 && config_.grid > 2, "invalid continuum config");
+
+  // Lipid fields: per-species base density with small random perturbations,
+  // so domains can form but mass stays ~1 per unit area in each leaflet.
+  fields_.reserve(ns);
+  for (int s = 0; s < ns; ++s) {
+    const bool inner = s < config_.inner_species;
+    const double base = 1.0 / (inner ? config_.inner_species : config_.outer_species);
+    Grid2d g(config_.grid, base);
+    for (auto& v : g.data()) v *= 1.0 + 0.05 * (rng_.uniform() - 0.5);
+    fields_.push_back(std::move(g));
+  }
+  mu_.assign(static_cast<std::size_t>(ns), Grid2d(config_.grid));
+
+  // Symmetric lipid-lipid interaction matrix: mild self-attraction drives
+  // domain formation; cross terms are random but weak.
+  chi_.assign(static_cast<std::size_t>(ns) * ns, 0.0);
+  for (int s = 0; s < ns; ++s) {
+    for (int t = s; t < ns; ++t) {
+      double v = config_.chi_scale * (rng_.uniform() - 0.5);
+      if (s == t) v = -0.5 * config_.chi_scale;
+      chi_[static_cast<std::size_t>(s) * ns + t] = v;
+      chi_[static_cast<std::size_t>(t) * ns + s] = v;
+    }
+  }
+
+  // Protein-lipid couplings start neutral-ish; feedback refines them.
+  coupling_.assign(static_cast<std::size_t>(kNumProteinStates) * ns, 0.0);
+  for (auto& w : coupling_) w = 0.3 * (rng_.uniform() - 0.5);
+
+  proteins_.resize(static_cast<std::size_t>(config_.n_proteins));
+  for (auto& p : proteins_) {
+    p.x = rng_.uniform(0.0, config_.extent);
+    p.y = rng_.uniform(0.0, config_.extent);
+    p.state = static_cast<ProteinState>(rng_.uniform_index(kNumProteinStates));
+  }
+}
+
+void GridSim2D::set_protein_lipid_coupling(ProteinState state, int species,
+                                           double weight) {
+  MUMMI_CHECK(species >= 0 && species < n_species());
+  coupling_[static_cast<std::size_t>(state) * n_species() + species] = weight;
+}
+
+double GridSim2D::protein_lipid_coupling(ProteinState state,
+                                         int species) const {
+  MUMMI_CHECK(species >= 0 && species < n_species());
+  return coupling_[static_cast<std::size_t>(state) * n_species() + species];
+}
+
+void GridSim2D::step_lipids() {
+  const int n = config_.grid;
+  const int ns = n_species();
+
+  // Per-state protein footprint fields (Gaussian stamps), shared by every
+  // lipid species through the coupling weights.
+  std::vector<Grid2d> footprint(kNumProteinStates, Grid2d(n));
+  const double sigma_g = config_.protein_radius / h_;  // in cells
+  const int reach = std::max(2, static_cast<int>(3 * sigma_g));
+  for (const auto& p : proteins_) {
+    const double gi = p.x / h_;
+    const double gj = p.y / h_;
+    Grid2d& f = footprint[static_cast<int>(p.state)];
+    const int ci = static_cast<int>(std::floor(gi));
+    const int cj = static_cast<int>(std::floor(gj));
+    for (int di = -reach; di <= reach; ++di)
+      for (int dj = -reach; dj <= reach; ++dj) {
+        const double dx = gi - (ci + di);
+        const double dy = gj - (cj + dj);
+        const double g = std::exp(-(dx * dx + dy * dy) / (2 * sigma_g * sigma_g));
+        f.at(f.wrap(ci + di), f.wrap(cj + dj)) += g;
+      }
+  }
+
+  auto& pool = util::global_pool();
+
+  // Excess chemical potential per species.
+  pool.parallel_for(static_cast<std::size_t>(ns), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      Grid2d& mu = mu_[s];
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+          double v = 0;
+          for (int t = 0; t < ns; ++t)
+            v += chi_[s * static_cast<std::size_t>(ns) + t] * fields_[t].at(i, j);
+          v -= config_.kappa * fields_[s].laplacian(i, j, h_);
+          for (int st = 0; st < kNumProteinStates; ++st) {
+            const double w =
+                coupling_[static_cast<std::size_t>(st) * ns + s];
+            if (w != 0) v += w * footprint[st].at(i, j);
+          }
+          mu.at(i, j) = v;
+        }
+    }
+  });
+
+  // Conservative update: drho/dt = M [lap rho + div(rho grad mu)].
+  const double coeff = config_.mobility * config_.dt;
+  pool.parallel_for(static_cast<std::size_t>(ns), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const Grid2d& rho = fields_[s];
+      const Grid2d& mu = mu_[s];
+      Grid2d next(n);
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+          // Face-centered fluxes of rho grad mu.
+          auto face = [&](int i2, int j2, int i3, int j3) {
+            const double rho_face = 0.5 * (rho.atp(i2, j2) + rho.atp(i3, j3));
+            return rho_face * (mu.atp(i3, j3) - mu.atp(i2, j2)) / h_;
+          };
+          const double div =
+              (face(i, j, i + 1, j) - face(i - 1, j, i, j) +
+               face(i, j, i, j + 1) - face(i, j - 1, i, j)) /
+              h_;
+          next.at(i, j) = rho.at(i, j) +
+                          coeff * (rho.laplacian(i, j, h_) + div);
+          if (next.at(i, j) < 0) next.at(i, j) = 0;  // density floor
+        }
+      fields_[s] = std::move(next);
+    }
+  });
+}
+
+double GridSim2D::coupling_field_gradient(const Protein& p, int axis) const {
+  // d/dx of U_p = sum_s w(state, s) rho_s at the protein position, by
+  // central differences of the interpolated fields.
+  const int ns = n_species();
+  const double eps = 0.5 * h_;
+  double grad = 0;
+  for (int s = 0; s < ns; ++s) {
+    const double w = coupling_[static_cast<std::size_t>(p.state) * ns + s];
+    if (w == 0) continue;
+    const double xp = p.x + (axis == 0 ? eps : 0);
+    const double xm = p.x - (axis == 0 ? eps : 0);
+    const double yp = p.y + (axis == 1 ? eps : 0);
+    const double ym = p.y - (axis == 1 ? eps : 0);
+    const double up = fields_[s].interpolate(xp / h_, yp / h_);
+    const double um = fields_[s].interpolate(xm / h_, ym / h_);
+    grad += w * (up - um) / (2 * eps);
+  }
+  return grad;
+}
+
+void GridSim2D::step_proteins() {
+  const double d = config_.protein_diffusion;
+  const double dt = config_.dt;
+  const double step_sigma = std::sqrt(2 * d * dt);
+  const double l = config_.extent;
+  const double rep_range = 2 * config_.protein_radius;
+
+  for (std::size_t a = 0; a < proteins_.size(); ++a) {
+    Protein& p = proteins_[a];
+    double fx = -coupling_field_gradient(p, 0);
+    double fy = -coupling_field_gradient(p, 1);
+    // Soft pairwise repulsion keeps complexes from stacking.
+    for (std::size_t b = 0; b < proteins_.size(); ++b) {
+      if (a == b) continue;
+      double dx = p.x - proteins_[b].x;
+      double dy = p.y - proteins_[b].y;
+      dx -= l * std::round(dx / l);
+      dy -= l * std::round(dy / l);
+      const double r2 = dx * dx + dy * dy;
+      if (r2 > rep_range * rep_range || r2 == 0) continue;
+      const double r = std::sqrt(r2);
+      const double mag = 2.0 * (1.0 - r / rep_range) / rep_range;
+      fx += mag * dx / r;
+      fy += mag * dy / r;
+    }
+    p.x += d * fx * dt + step_sigma * rng_.normal();
+    p.y += d * fy * dt + step_sigma * rng_.normal();
+    p.x -= l * std::floor(p.x / l);
+    p.y -= l * std::floor(p.y / l);
+
+    // Markov jumps between configurational states.
+    if (rng_.uniform() < config_.state_switch_rate * dt) {
+      int next = static_cast<int>(rng_.uniform_index(kNumProteinStates - 1));
+      if (next >= static_cast<int>(p.state)) ++next;
+      p.state = static_cast<ProteinState>(next);
+    }
+  }
+}
+
+void GridSim2D::step(int n) {
+  for (int k = 0; k < n; ++k) {
+    step_lipids();
+    step_proteins();
+    time_us_ += config_.dt;
+  }
+}
+
+Snapshot GridSim2D::snapshot() const {
+  Snapshot snap;
+  snap.time_us = time_us_;
+  snap.grid = config_.grid;
+  snap.extent = config_.extent;
+  snap.fields = fields_;
+  snap.proteins = proteins_;
+  return snap;
+}
+
+std::vector<double> GridSim2D::species_mass() const {
+  std::vector<double> out;
+  out.reserve(fields_.size());
+  const double cell_area = h_ * h_;
+  for (const auto& f : fields_) out.push_back(f.sum() * cell_area);
+  return out;
+}
+
+util::Bytes Snapshot::serialize() const {
+  util::ByteWriter w;
+  w.f64(time_us);
+  w.u32(static_cast<std::uint32_t>(grid));
+  w.f64(extent);
+  w.u32(static_cast<std::uint32_t>(fields.size()));
+  for (const auto& f : fields) w.vec(f.data());
+  w.u32(static_cast<std::uint32_t>(proteins.size()));
+  for (const auto& p : proteins) {
+    w.f64(p.x);
+    w.f64(p.y);
+    w.u32(static_cast<std::uint32_t>(p.state));
+  }
+  return std::move(w).take();
+}
+
+Snapshot Snapshot::deserialize(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  Snapshot snap;
+  snap.time_us = r.f64();
+  snap.grid = static_cast<int>(r.u32());
+  snap.extent = r.f64();
+  const auto nf = r.u32();
+  snap.fields.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    Grid2d g(snap.grid);
+    g.data() = r.vec<double>();
+    MUMMI_CHECK_MSG(g.data().size() == g.size(), "snapshot field size mismatch");
+    snap.fields.push_back(std::move(g));
+  }
+  const auto np = r.u32();
+  snap.proteins.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    Protein p;
+    p.x = r.f64();
+    p.y = r.f64();
+    p.state = static_cast<ProteinState>(r.u32());
+    snap.proteins.push_back(p);
+  }
+  return snap;
+}
+
+util::Bytes GridSim2D::serialize() const {
+  util::ByteWriter w;
+  w.bytes(snapshot().serialize());
+  w.vec(coupling_);
+  w.vec(chi_);
+  return std::move(w).take();
+}
+
+void GridSim2D::restore(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  const Snapshot snap = Snapshot::deserialize(r.bytes());
+  MUMMI_CHECK_MSG(snap.grid == config_.grid &&
+                      static_cast<int>(snap.fields.size()) == n_species(),
+                  "restore() config mismatch");
+  time_us_ = snap.time_us;
+  fields_ = snap.fields;
+  proteins_ = snap.proteins;
+  coupling_ = r.vec<double>();
+  chi_ = r.vec<double>();
+}
+
+}  // namespace mummi::cont

@@ -1,0 +1,78 @@
+#include "coupling/analysis.hpp"
+
+#include "util/error.hpp"
+
+namespace mummi::coupling {
+
+void RdfSet::merge(const RdfSet& other) {
+  MUMMI_CHECK_MSG(per_species.size() == other.per_species.size(),
+                  "RdfSet species mismatch");
+  for (std::size_t s = 0; s < per_species.size(); ++s)
+    per_species[s].merge(other.per_species[s]);
+}
+
+util::Bytes RdfSet::serialize() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(per_species.size()));
+  for (const auto& rdf : per_species) {
+    w.f64(rdf.r_max());
+    w.u64(rdf.nbins());
+    w.u64(rdf.frames());
+    w.f64(rdf.pair_density_sum());
+    w.vec(rdf.counts());
+  }
+  return std::move(w).take();
+}
+
+RdfSet RdfSet::deserialize(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  RdfSet out;
+  const auto ns = r.u32();
+  out.per_species.reserve(ns);
+  for (std::uint32_t s = 0; s < ns; ++s) {
+    const double rmax = r.f64();
+    const auto nbins = r.u64();
+    const auto frames = r.u64();
+    const double pair_density = r.f64();
+    auto counts = r.vec<double>();
+    MUMMI_CHECK_MSG(counts.size() == nbins, "RdfSet stream corrupt");
+    md::RdfAccumulator acc(rmax, nbins);
+    acc.restore_raw(std::move(counts), frames, pair_density);
+    out.per_species.push_back(std::move(acc));
+  }
+  return out;
+}
+
+CgAnalysis::CgAnalysis(const CgSystemInfo& info, std::uint64_t sim_id,
+                       md::real rdf_rmax, std::size_t rdf_bins)
+    : sim_id_(sim_id),
+      heads_by_species_(info.heads_by_species),
+      protein_beads_(info.protein_beads),
+      ras_beads_(info.ras_beads),
+      rdf_rmax_(rdf_rmax),
+      rdf_bins_(rdf_bins) {
+  MUMMI_CHECK_MSG(!protein_beads_.empty(), "CG analysis needs protein beads");
+  accum_.per_species.reserve(heads_by_species_.size());
+  for (std::size_t s = 0; s < heads_by_species_.size(); ++s)
+    accum_.per_species.emplace_back(rdf_rmax_, rdf_bins_);
+}
+
+CgFrameInfo CgAnalysis::analyze(const md::System& system, long step) {
+  for (std::size_t s = 0; s < heads_by_species_.size(); ++s)
+    if (!heads_by_species_[s].empty())
+      accum_.per_species[s].add_frame(system, protein_beads_,
+                                      heads_by_species_[s]);
+  ++frames_;
+  return compute_frame_info(system, protein_beads_, ras_beads_, sim_id_, step);
+}
+
+RdfSet CgAnalysis::take_rdfs() {
+  RdfSet out = std::move(accum_);
+  accum_ = RdfSet{};
+  accum_.per_species.reserve(heads_by_species_.size());
+  for (std::size_t s = 0; s < heads_by_species_.size(); ++s)
+    accum_.per_species.emplace_back(rdf_rmax_, rdf_bins_);
+  return out;
+}
+
+}  // namespace mummi::coupling

@@ -1,0 +1,97 @@
+#include "coupling/backmap.hpp"
+
+#include <cmath>
+
+#include "mdengine/integrator.hpp"
+#include "mdengine/simulation.hpp"
+#include "util/error.hpp"
+
+namespace mummi::coupling {
+
+std::shared_ptr<md::TypeMatrixForceField> make_aa_forcefield() {
+  auto ff = std::make_shared<md::TypeMatrixForceField>(2, 0.9);
+  ff->set_dielectric(1.0);
+  ff->set_pair(0, 0, {0.65, 0.30});
+  ff->set_pair(0, 1, {0.55, 0.31});
+  ff->set_pair(1, 1, {0.80, 0.32});
+  return ff;
+}
+
+Backmapper::Backmapper(AaBuildConfig config) : config_(config) {}
+
+AaSystemInfo Backmapper::build(const CgSystemInfo& cg, util::Rng& rng) const {
+  AaSystemInfo info;
+  info.n_types = 2;
+  md::System& aa = info.system;
+  aa.box = cg.system.box;
+
+  // Tetrahedral-ish template directions for the intra-bead atoms.
+  static const md::Vec3 kTemplate[] = {
+      {0, 0, 0}, {1, 1, 1}, {1, -1, -1}, {-1, 1, -1}, {-1, -1, 1},
+      {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const int apb = config_.atoms_per_bead;
+  MUMMI_CHECK_MSG(apb >= 1 && apb <= 8, "atoms_per_bead out of range");
+
+  std::vector<bool> is_protein_bead(cg.system.size(), false);
+  for (int b : cg.protein_beads) is_protein_bead[static_cast<std::size_t>(b)] = true;
+
+  // Expand each CG bead; remember each bead's first atom for bonded wiring.
+  std::vector<int> first_atom(cg.system.size());
+  const md::real atom_mass = 18.0;
+  for (std::size_t b = 0; b < cg.system.size(); ++b) {
+    const int type = is_protein_bead[b] ? 1 : 0;
+    first_atom[b] = static_cast<int>(aa.size());
+    for (int a = 0; a < apb; ++a) {
+      md::Vec3 offset = kTemplate[a];
+      const md::real norm = offset.norm();
+      if (norm > 0) offset *= config_.spread / norm;
+      offset.x += 0.02 * rng.normal();
+      offset.y += 0.02 * rng.normal();
+      offset.z += 0.02 * rng.normal();
+      const int idx = aa.add_particle(
+          aa.box.wrap(cg.system.pos[b] + offset), type, atom_mass,
+          cg.system.charge[b] / apb, cg.system.molecule[b]);
+      // Chain atoms within the bead to its first atom.
+      if (a > 0)
+        aa.bonds.push_back({first_atom[b], idx, config_.spread, 8000.0});
+    }
+  }
+  // Inherit CG bonds between bead anchor atoms.
+  for (const auto& bond : cg.system.bonds)
+    aa.bonds.push_back({first_atom[static_cast<std::size_t>(bond.i)],
+                        first_atom[static_cast<std::size_t>(bond.j)],
+                        bond.r0, bond.k});
+  for (const auto& angle : cg.system.angles)
+    aa.angles.push_back({first_atom[static_cast<std::size_t>(angle.i)],
+                         first_atom[static_cast<std::size_t>(angle.j)],
+                         first_atom[static_cast<std::size_t>(angle.k)],
+                         angle.theta0, angle.ktheta});
+
+  info.backbone.reserve(cg.protein_beads.size());
+  for (int b : cg.protein_beads)
+    info.backbone.push_back(first_atom[static_cast<std::size_t>(b)]);
+
+  // Cycles of minimization and position-restrained MD.
+  auto ff = make_aa_forcefield();
+  md::SimulationConfig sim_cfg;
+  sim_cfg.dt = config_.dt;
+  md::Simulation relax(std::move(aa), ff,
+                       std::make_unique<md::Langevin>(config_.temperature,
+                                                      2.0, rng.split()),
+                       sim_cfg);
+  md::Restraints restraints;
+  restraints.k = config_.restraint_k;
+  for (std::size_t b = 0; b < cg.system.size(); ++b) {
+    restraints.indices.push_back(first_atom[b]);
+    restraints.references.push_back(cg.system.pos[b]);
+  }
+  relax.set_restraints(std::move(restraints));
+  relax.minimize_energy(config_.minimize_steps);
+  relax.run(config_.restrained_steps);
+  relax.clear_restraints();
+  relax.minimize_energy(config_.minimize_steps / 2);
+  info.system = relax.system();
+  return info;
+}
+
+}  // namespace mummi::coupling

@@ -1,0 +1,174 @@
+#include "coupling/createsim.hpp"
+
+#include <cmath>
+
+#include "mdengine/integrator.hpp"
+#include "mdengine/simulation.hpp"
+#include "util/error.hpp"
+
+namespace mummi::coupling {
+
+std::shared_ptr<md::TypeMatrixForceField> make_cg_forcefield(int n_species) {
+  CgTypeLayout layout{n_species};
+  auto ff = std::make_shared<md::TypeMatrixForceField>(layout.n_types(), 1.2);
+  ff->set_dielectric(15.0);  // Martini screening
+  const md::real sigma = 0.47;
+  // Head-head: like attracts like a bit more than unlike.
+  for (int a = 0; a < n_species; ++a)
+    for (int b = a; b < n_species; ++b) {
+      const md::real eps = a == b ? 4.0 : 3.2 + 0.1 * ((a + b) % 4);
+      ff->set_pair(layout.head(a), layout.head(b), {eps, sigma});
+    }
+  // Tails drive hydrophobic cohesion.
+  ff->set_pair(layout.tail(), layout.tail(), {4.5, sigma});
+  for (int a = 0; a < n_species; ++a)
+    ff->set_pair(layout.head(a), layout.tail(), {2.6, sigma});
+  // Protein beads.
+  ff->set_pair(layout.protein(), layout.protein(), {4.0, sigma});
+  ff->set_pair(layout.protein(), layout.tail(), {2.8, sigma});
+  for (int a = 0; a < n_species; ++a)
+    ff->set_pair(layout.protein(), layout.head(a), {3.0 + 0.2 * (a % 3), sigma});
+  return ff;
+}
+
+CreateSim::CreateSim(CgBuildConfig config) : config_(config) {}
+
+namespace {
+/// Samples a lipid species index from the patch densities of one leaflet at
+/// a given position.
+int sample_species(const Patch& patch, util::Rng& rng, double x, double y,
+                   int species_lo, int species_hi) {
+  const double g = (patch.grid - 1) / patch.extent;
+  const int i = std::min(patch.grid - 1, static_cast<int>(x * g));
+  const int j = std::min(patch.grid - 1, static_cast<int>(y * g));
+  double total = 0;
+  for (int s = species_lo; s < species_hi; ++s)
+    total += std::max(0.0f, patch.density_at(s, i, j));
+  if (total <= 0) return species_lo;
+  double pick = rng.uniform() * total;
+  for (int s = species_lo; s < species_hi; ++s) {
+    pick -= std::max(0.0f, patch.density_at(s, i, j));
+    if (pick <= 0) return s;
+  }
+  return species_hi - 1;
+}
+
+/// Adds one three-bead lipid (head + two tails) to the system.
+void add_lipid(md::System& system, const CgTypeLayout& layout, int species,
+               double x, double y, double z_head, double tail_dir, int mol) {
+  const md::real bead_mass = 72.0;  // Martini 4:1 mapping
+  const md::real bond_r0 = 0.47;
+  const md::real bond_k = 1250.0;
+  const md::real charge = (species % 3 == 0) ? -0.5 : 0.0;  // charged heads
+  const int head = system.add_particle({x, y, z_head}, layout.head(species),
+                                       bead_mass, charge, mol);
+  const int t1 = system.add_particle({x, y, z_head + tail_dir * bond_r0},
+                                     layout.tail(), bead_mass, 0.0, mol);
+  const int t2 = system.add_particle({x, y, z_head + 2 * tail_dir * bond_r0},
+                                     layout.tail(), bead_mass, 0.0, mol);
+  system.bonds.push_back({head, t1, bond_r0, bond_k});
+  system.bonds.push_back({t1, t2, bond_r0, bond_k});
+  system.angles.push_back({head, t1, t2, static_cast<md::real>(M_PI), 25.0});
+}
+
+/// Adds a protein as a bead chain rising from the membrane surface.
+void add_protein_chain(md::System& system, const CgTypeLayout& layout,
+                       std::vector<int>& beads, double x, double y,
+                       double z0, int n_beads, int mol, util::Rng& rng) {
+  const md::real bead_mass = 110.0;
+  const md::real bond_r0 = 0.38;
+  const md::real bond_k = 5000.0;
+  int prev = -1;
+  for (int b = 0; b < n_beads; ++b) {
+    // Gentle helix so the chain has structure to analyze.
+    const double angle = 0.6 * b;
+    const double px = x + 0.25 * std::cos(angle) + 0.02 * rng.normal();
+    const double py = y + 0.25 * std::sin(angle) + 0.02 * rng.normal();
+    const double pz = z0 + 0.30 * b;
+    const int idx = system.add_particle({px, py, pz}, layout.protein(),
+                                        bead_mass, 0.0, mol);
+    beads.push_back(idx);
+    if (prev >= 0) {
+      system.bonds.push_back({prev, idx, bond_r0, bond_k});
+      if (b >= 2)
+        system.angles.push_back({beads[beads.size() - 3], prev, idx,
+                                 static_cast<md::real>(0.5 * M_PI + 0.5), 40.0});
+    }
+    prev = idx;
+  }
+}
+}  // namespace
+
+CgSystemInfo CreateSim::build(const Patch& patch, util::Rng& rng) const {
+  MUMMI_CHECK_MSG(patch.n_species >= 2, "patch needs at least two species");
+  CgSystemInfo info;
+  info.layout = CgTypeLayout{patch.n_species};
+  md::System& system = info.system;
+  system.box.length = {patch.extent, patch.extent, config_.box_height};
+
+  // Leaflet split follows the snapshot convention: inner species first.
+  // Patches carry all species; we divide them at the midpoint when the
+  // original 8/6 split is unknown.
+  const int inner_hi = (patch.n_species * 8 + 13) / 14;  // 8 of 14 by default
+  const double z_mid = 0.5 * config_.box_height;
+
+  const auto lipids_per_leaflet = static_cast<int>(
+      config_.lipids_per_nm2 * patch.extent * patch.extent);
+  info.heads_by_species.resize(static_cast<std::size_t>(patch.n_species));
+
+  int mol = 0;
+  for (int leaflet = 0; leaflet < 2; ++leaflet) {
+    const bool inner = leaflet == 0;
+    const double z_head = inner ? z_mid - 1.5 : z_mid + 1.5;
+    const double tail_dir = inner ? +1.0 : -1.0;  // tails point to midplane
+    const int lo = inner ? 0 : inner_hi;
+    const int hi = inner ? inner_hi : patch.n_species;
+    for (int n = 0; n < lipids_per_leaflet; ++n) {
+      const double x = rng.uniform(0.0, patch.extent);
+      const double y = rng.uniform(0.0, patch.extent);
+      const int species = sample_species(patch, rng, x, y, lo, hi);
+      const int head_index = static_cast<int>(system.size());
+      add_lipid(system, info.layout, species, x, y, z_head, tail_dir, mol++);
+      info.heads_by_species[static_cast<std::size_t>(species)].push_back(
+          head_index);
+    }
+  }
+
+  // Proteins: bead chains anchored at the outer leaflet surface.
+  for (const auto& p : patch.proteins) {
+    const bool has_raf = p.state == cont::ProteinState::kRasRafA ||
+                         p.state == cont::ProteinState::kRasRafB;
+    std::vector<int> beads;
+    add_protein_chain(system, info.layout, beads, p.x, p.y, z_mid + 1.8,
+                      config_.ras_beads, mol, rng);
+    if (&p == &patch.proteins.front()) info.ras_beads = config_.ras_beads;
+    if (has_raf) {
+      std::vector<int> raf;
+      add_protein_chain(system, info.layout, raf, p.x + 0.8, p.y, z_mid + 2.2,
+                        config_.raf_beads, mol, rng);
+      // RAS-RAF association bond.
+      system.bonds.push_back({beads.back(), raf.front(), 0.8, 500.0});
+      beads.insert(beads.end(), raf.begin(), raf.end());
+    }
+    ++mol;
+    if (&p == &patch.proteins.front()) info.protein_beads = beads;
+  }
+
+  // Relaxation: minimize, then a short Langevin equilibration ("GROMACS is
+  // used to relax the membrane and proteins").
+  auto ff = make_cg_forcefield(patch.n_species);
+  {
+    md::SimulationConfig sim_cfg;
+    sim_cfg.dt = config_.dt;
+    md::Simulation relax(std::move(system), ff,
+                         std::make_unique<md::Langevin>(
+                             config_.temperature, 1.0, rng.split()),
+                         sim_cfg);
+    relax.minimize_energy(config_.minimize_steps);
+    relax.run(config_.relax_steps);
+    info.system = relax.system();
+  }
+  return info;
+}
+
+}  // namespace mummi::coupling

@@ -1,0 +1,110 @@
+#include "coupling/patch.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::coupling {
+
+util::NpyArray Patch::density_npy() const {
+  return util::NpyArray::from_f32(
+      {static_cast<std::size_t>(n_species), static_cast<std::size_t>(grid),
+       static_cast<std::size_t>(grid)},
+      density);
+}
+
+util::Bytes Patch::serialize() const {
+  util::ByteWriter w;
+  w.u64(id);
+  w.f64(time_us);
+  w.u32(static_cast<std::uint32_t>(grid));
+  w.f64(extent);
+  w.u32(static_cast<std::uint32_t>(n_species));
+  w.vec(density);
+  w.u32(static_cast<std::uint32_t>(proteins.size()));
+  for (const auto& p : proteins) {
+    w.f64(p.x);
+    w.f64(p.y);
+    w.u32(static_cast<std::uint32_t>(p.state));
+  }
+  return std::move(w).take();
+}
+
+Patch Patch::deserialize(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  Patch patch;
+  patch.id = r.u64();
+  patch.time_us = r.f64();
+  patch.grid = static_cast<int>(r.u32());
+  patch.extent = r.f64();
+  patch.n_species = static_cast<int>(r.u32());
+  patch.density = r.vec<float>();
+  MUMMI_CHECK_MSG(patch.density.size() ==
+                      static_cast<std::size_t>(patch.n_species) * patch.grid *
+                          patch.grid,
+                  "patch density size mismatch");
+  const auto np = r.u32();
+  for (std::uint32_t i = 0; i < np; ++i) {
+    PatchProtein p;
+    p.x = r.f64();
+    p.y = r.f64();
+    p.state = static_cast<cont::ProteinState>(r.u32());
+    patch.proteins.push_back(p);
+  }
+  return patch;
+}
+
+PatchCreator::PatchCreator(int patch_grid, double patch_extent)
+    : patch_grid_(patch_grid), patch_extent_(patch_extent) {
+  MUMMI_CHECK_MSG(patch_grid > 1 && patch_extent > 0, "invalid patch shape");
+}
+
+std::vector<Patch> PatchCreator::create(const cont::Snapshot& snapshot,
+                                        std::uint64_t& next_id) const {
+  std::vector<Patch> out;
+  out.reserve(snapshot.proteins.size());
+  const double h = snapshot.extent / snapshot.grid;  // continuum spacing
+  const double half = 0.5 * patch_extent_;
+  const double sample_dx = patch_extent_ / (patch_grid_ - 1);
+
+  for (const auto& center : snapshot.proteins) {
+    Patch patch;
+    patch.id = next_id++;
+    patch.time_us = snapshot.time_us;
+    patch.grid = patch_grid_;
+    patch.extent = patch_extent_;
+    patch.n_species = static_cast<int>(snapshot.fields.size());
+    patch.density.resize(static_cast<std::size_t>(patch.n_species) *
+                         patch_grid_ * patch_grid_);
+
+    // Resample each species field over the window centered on the protein.
+    std::size_t cursor = 0;
+    for (const auto& field : snapshot.fields) {
+      for (int i = 0; i < patch_grid_; ++i) {
+        const double x = center.x - half + i * sample_dx;
+        for (int j = 0; j < patch_grid_; ++j) {
+          const double y = center.y - half + j * sample_dx;
+          patch.density[cursor++] =
+              static_cast<float>(field.interpolate(x / h, y / h));
+        }
+      }
+    }
+
+    // Collect proteins inside the window (periodic minimum image), center
+    // protein first, with local coordinates.
+    patch.proteins.push_back(PatchProtein{half, half, center.state});
+    for (const auto& other : snapshot.proteins) {
+      if (&other == &center) continue;
+      double dx = other.x - center.x;
+      double dy = other.y - center.y;
+      dx -= snapshot.extent * std::round(dx / snapshot.extent);
+      dy -= snapshot.extent * std::round(dy / snapshot.extent);
+      if (std::abs(dx) <= half && std::abs(dy) <= half)
+        patch.proteins.push_back(PatchProtein{half + dx, half + dy, other.state});
+    }
+    out.push_back(std::move(patch));
+  }
+  return out;
+}
+
+}  // namespace mummi::coupling

@@ -1,0 +1,105 @@
+#include "datastore/fs_store.hpp"
+
+#include <filesystem>
+
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace fs = std::filesystem;
+
+namespace mummi::ds {
+
+namespace {
+void validate(const std::string& ns, const std::string& key) {
+  MUMMI_CHECK_MSG(!ns.empty() && ns.find('/') == std::string::npos,
+                  "invalid namespace: " + ns);
+  MUMMI_CHECK_MSG(!key.empty() && key.find('/') == std::string::npos,
+                  "invalid key: " + key);
+}
+}  // namespace
+
+FsStore::FsStore(std::string root, double op_latency)
+    : root_(std::move(root)), op_latency_(op_latency) {
+  util::make_dirs(root_);
+}
+
+std::string FsStore::path_of(const std::string& ns,
+                             const std::string& key) const {
+  return root_ + "/" + ns + "/" + key;
+}
+
+void FsStore::account() const {
+  std::lock_guard lock(mutex_);
+  latency_total_ += op_latency_;
+}
+
+double FsStore::latency_accounted() const {
+  std::lock_guard lock(mutex_);
+  return latency_total_;
+}
+
+void FsStore::put(const std::string& ns, const std::string& key,
+                  const util::Bytes& value) {
+  validate(ns, key);
+  util::make_dirs(root_ + "/" + ns);
+  util::write_file(path_of(ns, key), value);
+  account();
+}
+
+util::Bytes FsStore::get(const std::string& ns, const std::string& key) const {
+  validate(ns, key);
+  auto data = util::read_file(path_of(ns, key));
+  account();
+  if (!data) throw util::StoreError("missing record: " + ns + "/" + key);
+  return *data;
+}
+
+bool FsStore::exists(const std::string& ns, const std::string& key) const {
+  validate(ns, key);
+  return fs::exists(path_of(ns, key));
+}
+
+std::vector<std::string> FsStore::keys(const std::string& ns,
+                                       const std::string& pattern) const {
+  std::vector<std::string> out;
+  const std::string dir = root_ + "/" + ns;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (util::glob_match(pattern, name)) out.push_back(name);
+  }
+  account();
+  return out;
+}
+
+bool FsStore::erase(const std::string& ns, const std::string& key) {
+  validate(ns, key);
+  account();
+  return util::remove_file(path_of(ns, key));
+}
+
+void FsStore::move(const std::string& src_ns, const std::string& key,
+                   const std::string& dst_ns) {
+  validate(src_ns, key);
+  validate(dst_ns, key);
+  util::make_dirs(root_ + "/" + dst_ns);
+  std::error_code ec;
+  fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
+  account();
+  if (ec)
+    throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
+                           dst_ns + ": " + ec.message());
+}
+
+std::size_t FsStore::inode_count() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); ++it)
+    if (it->is_regular_file()) ++n;
+  return n;
+}
+
+}  // namespace mummi::ds

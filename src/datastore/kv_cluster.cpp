@@ -1,0 +1,129 @@
+#include "datastore/kv_cluster.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace mummi::ds {
+
+KvCluster::KvCluster(std::size_t n_servers, KvCostModel cost) : cost_(cost) {
+  MUMMI_CHECK_MSG(n_servers > 0, "cluster needs at least one server");
+  shards_.reserve(n_servers);
+  for (std::size_t i = 0; i < n_servers; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+void KvCluster::add_time(std::atomic<double>& counter, double dt) {
+  double cur = counter.load(std::memory_order_relaxed);
+  while (!counter.compare_exchange_weak(cur, cur + dt)) {
+  }
+}
+
+std::size_t KvCluster::server_of(const std::string& key) const {
+  return util::fnv1a(key) % shards_.size();
+}
+
+void KvCluster::set(const std::string& key, util::Bytes value) {
+  add_time(t_writes_,
+           cost_.per_query + cost_.per_byte * static_cast<double>(value.size()));
+  Shard& shard = *shards_[server_of(key)];
+  std::lock_guard lock(shard.mutex);
+  shard.data[key] = std::move(value);
+}
+
+std::optional<util::Bytes> KvCluster::get(const std::string& key) const {
+  const Shard& shard = *shards_[server_of(key)];
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.data.find(key);
+  if (it == shard.data.end()) {
+    add_time(t_reads_, cost_.per_query);
+    return std::nullopt;
+  }
+  add_time(t_reads_, cost_.per_read +
+                         cost_.per_byte * static_cast<double>(it->second.size()));
+  return it->second;
+}
+
+bool KvCluster::exists(const std::string& key) const {
+  const Shard& shard = *shards_[server_of(key)];
+  std::lock_guard lock(shard.mutex);
+  return shard.data.count(key) > 0;
+}
+
+bool KvCluster::del(const std::string& key) {
+  add_time(t_dels_, cost_.per_query);
+  Shard& shard = *shards_[server_of(key)];
+  std::lock_guard lock(shard.mutex);
+  return shard.data.erase(key) > 0;
+}
+
+bool KvCluster::rename(const std::string& from, const std::string& to) {
+  // Same-shard renames move in place; cross-shard falls back to delete+set.
+  const std::size_t s_from = server_of(from);
+  const std::size_t s_to = server_of(to);
+  add_time(t_dels_, cost_.per_query);
+  if (s_from == s_to) {
+    Shard& shard = *shards_[s_from];
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.data.find(from);
+    if (it == shard.data.end()) return false;
+    util::Bytes value = std::move(it->second);
+    shard.data.erase(it);
+    shard.data[to] = std::move(value);
+    return true;
+  }
+  util::Bytes value;
+  {
+    Shard& shard = *shards_[s_from];
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.data.find(from);
+    if (it == shard.data.end()) return false;
+    value = std::move(it->second);
+    shard.data.erase(it);
+  }
+  Shard& dst = *shards_[s_to];
+  std::lock_guard lock(dst.mutex);
+  dst.data[to] = std::move(value);
+  return true;
+}
+
+std::vector<std::string> KvCluster::keys(const std::string& pattern) const {
+  std::vector<std::string> out;
+  std::size_t scanned = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    scanned += shard->data.size();
+    for (const auto& [k, _] : shard->data)
+      if (util::glob_match(pattern, k)) out.push_back(k);
+  }
+  add_time(t_keys_, cost_.per_query * static_cast<double>(shards_.size()) +
+                        cost_.per_scanned_key * static_cast<double>(scanned) +
+                        cost_.per_returned_key * static_cast<double>(out.size()));
+  return out;
+}
+
+std::size_t KvCluster::total_keys() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    n += shard->data.size();
+  }
+  return n;
+}
+
+std::uint64_t KvCluster::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (const auto& [_, v] : shard->data) n += v.size();
+  }
+  return n;
+}
+
+void KvCluster::reset_sim_time() {
+  t_keys_.store(0.0);
+  t_reads_.store(0.0);
+  t_dels_.store(0.0);
+  t_writes_.store(0.0);
+}
+
+}  // namespace mummi::ds

@@ -1,0 +1,56 @@
+#include "datastore/red_store.hpp"
+
+#include "util/error.hpp"
+
+namespace mummi::ds {
+
+RedStore::RedStore(std::shared_ptr<KvCluster> cluster)
+    : cluster_(std::move(cluster)) {
+  MUMMI_CHECK(cluster_ != nullptr);
+}
+
+RedStore::RedStore(std::size_t n_servers, KvCostModel cost)
+    : cluster_(std::make_shared<KvCluster>(n_servers, cost)) {}
+
+std::string RedStore::full_key(const std::string& ns, const std::string& key) {
+  MUMMI_CHECK_MSG(!ns.empty() && ns.find(':') == std::string::npos,
+                  "invalid namespace: " + ns);
+  MUMMI_CHECK_MSG(!key.empty(), "empty key");
+  return ns + ":" + key;
+}
+
+void RedStore::put(const std::string& ns, const std::string& key,
+                   const util::Bytes& value) {
+  cluster_->set(full_key(ns, key), value);
+}
+
+util::Bytes RedStore::get(const std::string& ns, const std::string& key) const {
+  auto v = cluster_->get(full_key(ns, key));
+  if (!v) throw util::StoreError("missing record: " + ns + "/" + key);
+  return *v;
+}
+
+bool RedStore::exists(const std::string& ns, const std::string& key) const {
+  return cluster_->exists(full_key(ns, key));
+}
+
+std::vector<std::string> RedStore::keys(const std::string& ns,
+                                        const std::string& pattern) const {
+  const std::string prefix = ns + ":";
+  std::vector<std::string> out;
+  for (auto& full : cluster_->keys(prefix + pattern))
+    out.push_back(full.substr(prefix.size()));
+  return out;
+}
+
+bool RedStore::erase(const std::string& ns, const std::string& key) {
+  return cluster_->del(full_key(ns, key));
+}
+
+void RedStore::move(const std::string& src_ns, const std::string& key,
+                    const std::string& dst_ns) {
+  if (!cluster_->rename(full_key(src_ns, key), full_key(dst_ns, key)))
+    throw util::StoreError("missing record: " + src_ns + "/" + key);
+}
+
+}  // namespace mummi::ds

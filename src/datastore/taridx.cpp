@@ -1,0 +1,267 @@
+#include "datastore/taridx.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace fs = std::filesystem;
+
+namespace mummi::ds {
+
+namespace {
+constexpr std::size_t kBlock = 512;
+
+struct UstarHeader {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char pad[12];
+};
+static_assert(sizeof(UstarHeader) == kBlock, "ustar header must be 512 bytes");
+
+void write_octal(char* field, std::size_t width, std::uint64_t value) {
+  // Width includes the trailing NUL, per ustar convention.
+  std::snprintf(field, width, "%0*llo", static_cast<int>(width - 1),
+                static_cast<unsigned long long>(value));
+}
+
+UstarHeader make_header(const std::string& key, std::uint64_t size) {
+  UstarHeader h;
+  std::memset(&h, 0, sizeof h);
+  MUMMI_CHECK_MSG(key.size() < sizeof h.name, "tar member name too long");
+  std::memcpy(h.name, key.data(), key.size());
+  write_octal(h.mode, sizeof h.mode, 0644);
+  write_octal(h.uid, sizeof h.uid, 0);
+  write_octal(h.gid, sizeof h.gid, 0);
+  write_octal(h.size, sizeof h.size, size);
+  write_octal(h.mtime, sizeof h.mtime, 0);
+  h.typeflag = '0';  // regular file
+  std::memcpy(h.magic, "ustar", 6);
+  std::memcpy(h.version, "00", 2);
+  std::memcpy(h.uname, "mummi", 5);
+  std::memcpy(h.gname, "mummi", 5);
+  // Checksum: header bytes with chksum field treated as spaces.
+  std::memset(h.chksum, ' ', sizeof h.chksum);
+  unsigned sum = 0;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+  for (std::size_t i = 0; i < sizeof h; ++i) sum += bytes[i];
+  std::snprintf(h.chksum, sizeof h.chksum, "%06o", sum);
+  h.chksum[7] = ' ';
+  return h;
+}
+
+std::uint64_t parse_octal(const char* field, std::size_t width) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width && field[i]; ++i) {
+    if (field[i] == ' ') continue;
+    if (field[i] < '0' || field[i] > '7')
+      throw util::FormatError("bad octal field in tar header");
+    v = v * 8 + static_cast<std::uint64_t>(field[i] - '0');
+  }
+  return v;
+}
+
+std::uint64_t padded(std::uint64_t n) { return (n + kBlock - 1) / kBlock * kBlock; }
+}  // namespace
+
+TarIdx::TarIdx(std::string path) : path_(std::move(path)) {
+  if (!fs::exists(path_)) {
+    std::ofstream create(path_, std::ios::binary);
+    if (!create) throw util::IoError("cannot create archive: " + path_);
+  }
+  load_or_rebuild_index();
+}
+
+TarIdx::~TarIdx() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    util::log_error("taridx flush failed in destructor: ", e.what());
+  }
+}
+
+std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>>
+TarIdx::scan(const std::string& tar_path) {
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>> out;
+  std::ifstream in(tar_path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open archive: " + tar_path);
+  UstarHeader h;
+  std::uint64_t offset = 0;
+  while (in.read(reinterpret_cast<char*>(&h), kBlock)) {
+    // Two all-zero blocks (or one, from a torn trailer) end the archive.
+    bool all_zero = true;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+    for (std::size_t i = 0; i < kBlock; ++i)
+      if (bytes[i] != 0) {
+        all_zero = false;
+        break;
+      }
+    if (all_zero) break;
+    if (std::memcmp(h.magic, "ustar", 5) != 0)
+      throw util::FormatError("not a ustar archive: " + tar_path);
+    const std::uint64_t size = parse_octal(h.size, sizeof h.size);
+    std::string name(h.name, strnlen(h.name, sizeof h.name));
+    out.emplace_back(std::move(name), offset + kBlock, size);
+    offset += kBlock + padded(size);
+    in.seekg(static_cast<std::streamoff>(offset));
+  }
+  return out;
+}
+
+void TarIdx::load_or_rebuild_index() {
+  std::lock_guard lock(mutex_);
+  index_.clear();
+  // Try the sidecar first.
+  const std::string idx_path = path_ + ".idx";
+  bool sidecar_ok = false;
+  if (auto raw = util::read_file(idx_path)) {
+    try {
+      util::ByteReader r(*raw);
+      const auto n = r.u64();
+      const auto end = r.u64();
+      std::map<std::string, Entry> idx;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        Entry e{r.u64(), r.u64()};
+        idx[std::move(key)] = e;
+      }
+      // Validate coverage: the recorded end must not exceed the file size.
+      const auto file_size = static_cast<std::uint64_t>(fs::file_size(path_));
+      if (end <= file_size) {
+        index_ = std::move(idx);
+        end_offset_ = end;
+        sidecar_ok = true;
+      }
+    } catch (const util::FormatError&) {
+      util::log_warn("taridx sidecar corrupt, rebuilding: ", idx_path);
+    }
+  }
+  if (!sidecar_ok) {
+    // Recovery path: rebuild by scanning. Later duplicates overwrite earlier
+    // ones, matching the paper's crash-recovery semantics.
+    end_offset_ = 0;
+    for (const auto& [key, offset, size] : scan(path_)) {
+      index_[key] = Entry{offset, size};
+      end_offset_ = offset - kBlock + kBlock + padded(size);
+    }
+    dirty_ = true;
+  }
+}
+
+void TarIdx::append(const std::string& key, const util::Bytes& value) {
+  std::lock_guard lock(mutex_);
+  MUMMI_CHECK_MSG(!key.empty(), "empty tar key");
+  const UstarHeader h = make_header(key, value.size());
+  std::fstream out(path_, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) throw util::IoError("cannot open archive for append: " + path_);
+  out.seekp(static_cast<std::streamoff>(end_offset_));
+  out.write(reinterpret_cast<const char*>(&h), kBlock);
+  out.write(reinterpret_cast<const char*>(value.data()),
+            static_cast<std::streamsize>(value.size()));
+  const std::uint64_t pad = padded(value.size()) - value.size();
+  if (pad > 0) {
+    static const char zeros[kBlock] = {};
+    out.write(zeros, static_cast<std::streamsize>(pad));
+  }
+  out.flush();
+  if (!out) throw util::IoError("append failed: " + path_);
+  index_[key] = Entry{end_offset_ + kBlock, value.size()};
+  end_offset_ += kBlock + padded(value.size());
+  dirty_ = true;
+}
+
+std::optional<util::Bytes> TarIdx::read(const std::string& key) const {
+  Entry entry;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    entry = it->second;
+  }
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw util::IoError("cannot open archive: " + path_);
+  in.seekg(static_cast<std::streamoff>(entry.offset));
+  util::Bytes data(entry.size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(entry.size));
+  if (!in) throw util::IoError("member read failed: " + key);
+  return data;
+}
+
+bool TarIdx::contains(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return index_.count(key) > 0;
+}
+
+std::vector<std::string> TarIdx::keys() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [k, _] : index_) out.push_back(k);
+  return out;
+}
+
+bool TarIdx::erase_key(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const bool erased = index_.erase(key) > 0;
+  if (erased) dirty_ = true;
+  return erased;
+}
+
+void TarIdx::persist_index_locked() {
+  util::ByteWriter w;
+  w.u64(index_.size());
+  w.u64(end_offset_);
+  for (const auto& [key, e] : index_) {
+    w.str(key);
+    w.u64(e.offset);
+    w.u64(e.size);
+  }
+  util::write_file(path_ + ".idx", w.data());
+}
+
+void TarIdx::flush() {
+  std::lock_guard lock(mutex_);
+  if (!dirty_) return;
+  // End-of-archive trailer: two zero blocks after the last member. Appends
+  // overwrite it, so the tar stays valid for external tools at all times.
+  std::fstream out(path_, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) throw util::IoError("cannot open archive for trailer: " + path_);
+  out.seekp(static_cast<std::streamoff>(end_offset_));
+  static const char zeros[2 * kBlock] = {};
+  out.write(zeros, sizeof zeros);
+  out.flush();
+  if (!out) throw util::IoError("trailer write failed: " + path_);
+  persist_index_locked();
+  dirty_ = false;
+}
+
+std::size_t TarIdx::count() const {
+  std::lock_guard lock(mutex_);
+  return index_.size();
+}
+
+std::uint64_t TarIdx::data_bytes() const {
+  std::lock_guard lock(mutex_);
+  return end_offset_;
+}
+
+}  // namespace mummi::ds

@@ -1,0 +1,87 @@
+// taridx: indexed, append-only tar archives (the pytaridx substitute).
+//
+// Paper Sec. 4.2/5.2: pytaridx collects millions of small files into standard
+// tar archives with a complementary index file for random access — 1.03B
+// files went into 114,552 archives (a 9000x inode reduction) at ~575 files/s
+// read throughput. Properties reproduced here:
+//   - archives are standard ustar tar files, readable by any tar tool;
+//   - writes are append-only, so a crash can never corrupt earlier members;
+//   - an index sidecar (<path>.idx) maps key -> (offset, size) for random
+//     access;
+//   - if the index is missing or stale, it is rebuilt by scanning the tar;
+//   - duplicate keys (e.g., a retried write after a failure) resolve to the
+//     last appended copy — "the same key gets reinserted and is taken to be
+//     the correct value".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mummi::ds {
+
+class TarIdx {
+ public:
+  /// Opens (creating if absent) the archive at `path` with its `<path>.idx`
+  /// sidecar. If the sidecar is missing or does not cover the whole archive,
+  /// the index is rebuilt by scanning the tar.
+  explicit TarIdx(std::string path);
+  ~TarIdx();
+
+  TarIdx(const TarIdx&) = delete;
+  TarIdx& operator=(const TarIdx&) = delete;
+
+  /// Appends a member. An existing key is shadowed by the new copy.
+  void append(const std::string& key, const util::Bytes& value);
+
+  /// Random-access read of the newest copy of a member.
+  [[nodiscard]] std::optional<util::Bytes> read(const std::string& key) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Keys currently in the index, sorted.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Removes a key from the *index only*; the member bytes remain in the
+  /// archive (append-only media cannot reclaim them).
+  bool erase_key(const std::string& key);
+
+  /// Writes the tar end-of-archive trailer and persists the index sidecar.
+  /// Called automatically from the destructor.
+  void flush();
+
+  /// Number of indexed members.
+  [[nodiscard]] std::size_t count() const;
+
+  /// Archive size in bytes (members + headers, excluding trailer).
+  [[nodiscard]] std::uint64_t data_bytes() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Scans a tar file and returns (key, offset-of-data, size) for every
+  /// member — the recovery path and also how foreign tars are ingested.
+  static std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>>
+  scan(const std::string& tar_path);
+
+ private:
+  struct Entry {
+    std::uint64_t offset;  // offset of member *data* (past the header)
+    std::uint64_t size;
+  };
+
+  void load_or_rebuild_index();
+  void persist_index_locked();
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> index_;
+  std::uint64_t end_offset_ = 0;  // where the next header goes
+  bool dirty_ = false;
+};
+
+}  // namespace mummi::ds

@@ -1,0 +1,75 @@
+// Discrete-event simulation engine.
+//
+// The campaign-scale experiments (Table 1, Figs. 3-8) ran for months on
+// Summit; we reproduce their coordination-layer behaviour by driving the real
+// WorkflowManager/scheduler/datastore/ML classes under a virtual clock.
+// SimEngine is the event loop: schedule callbacks at absolute virtual times,
+// run until quiescent or a horizon. This mirrors the "Flux emulated
+// environment" the authors themselves used for the 670x matcher result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace mummi::event {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+
+  /// The virtual clock; hand `&clock()` to components expecting util::Clock.
+  [[nodiscard]] util::ManualClock& clock() { return clock_; }
+  [[nodiscard]] double now() const { return clock_.now(); }
+
+  /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
+  /// Events at equal times fire in scheduling order. Returns an id usable
+  /// with cancel().
+  EventId schedule_at(double t, EventFn fn);
+
+  /// Schedules `fn` after a delay (>= 0) from now().
+  EventId schedule_after(double dt, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already fired or is gone.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains or virtual time would pass
+  /// `horizon`. Returns the number of events executed. Events scheduled past
+  /// the horizon stay queued; the clock is left at min(last event, horizon).
+  std::size_t run_until(double horizon);
+
+  /// Runs until the queue drains completely.
+  std::size_t run();
+
+  /// Executes only the next pending event (if any); returns whether one ran.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return size_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;  // tie-break: FIFO within equal timestamps
+    EventId id;
+    // `fn` lives in the map so cancel() can drop it without heap surgery.
+    bool operator>(const Entry& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  util::ManualClock clock_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, EventFn> pending_fns_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mummi::event

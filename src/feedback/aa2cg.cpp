@@ -1,0 +1,64 @@
+#include "feedback/aa2cg.hpp"
+
+#include "util/error.hpp"
+
+namespace mummi::fb {
+
+AaToCgFeedback::AaToCgFeedback(ds::DataStorePtr store, Aa2CgConfig config)
+    : store_(std::move(store)), config_(std::move(config)) {
+  MUMMI_CHECK(store_ != nullptr);
+  MUMMI_CHECK_MSG(config_.pool_size > 0, "pool size must be positive");
+}
+
+IterationStats AaToCgFeedback::iterate() {
+  IterationStats stats;
+
+  // Phase 1 — collect: identify and fetch new pattern records.
+  const auto keys = store_->keys(config_.pending_ns, "*");
+  stats.collect_virtual +=
+      config_.costs.identify_per_key * static_cast<double>(keys.size());
+  std::vector<std::string> patterns;
+  patterns.reserve(keys.size());
+  for (const auto& key : keys) {
+    patterns.push_back(store_->get_text(config_.pending_ns, key));
+    stats.collect_virtual += config_.costs.read_per_record;
+  }
+
+  // Phase 2 — process: the per-frame external-call cost, amortized over the
+  // worker pool.
+  stats.frames = keys.size();
+  if (!keys.empty()) {
+    stats.process_virtual +=
+        config_.phase_overhead +
+        config_.per_frame_seconds * static_cast<double>(keys.size()) /
+            static_cast<double>(config_.pool_size);
+  }
+
+  // Phase 3 — report: vote within length classes (RAS vs RAS-RAF frames)
+  // and refine the CG protein parameters from the best-populated class.
+  if (!patterns.empty()) {
+    for (auto& p : patterns) {
+      auto& bucket = vote_buffer_[p.size()];
+      bucket.push_back(std::move(p));
+      // Bound the memory of the vote: keep a sliding window per class.
+      constexpr std::size_t kWindow = 20000;
+      if (bucket.size() > kWindow)
+        bucket.erase(bucket.begin(),
+                     bucket.end() - static_cast<long>(kWindow));
+    }
+    const std::vector<std::string>* best = nullptr;
+    for (const auto& [len, bucket] : vote_buffer_)
+      if (len > 0 && (!best || bucket.size() > best->size())) best = &bucket;
+    if (best) params_.consensus = md::consensus_pattern(*best);
+    total_frames_ += keys.size();
+  }
+
+  // Phase 4 — tag.
+  for (const auto& key : keys) {
+    store_->move(config_.pending_ns, key, config_.done_ns);
+    stats.tag_virtual += config_.costs.tag_per_record;
+  }
+  return stats;
+}
+
+}  // namespace mummi::fb

@@ -1,0 +1,82 @@
+// AA-to-CG feedback.
+//
+// Paper Sec. 4.1 item 7 / Sec. 5.2: secondary structures computed from AA
+// frames determine the most common pattern; CG protein force-field parameters
+// are progressively refined toward it. Each frame costs ~2 s through external
+// subprocess calls, so "the feedback process was split into different phases
+// for performance optimization, and suitable process pools and localized
+// temporary files were used" to keep >97% of iterations within ~10 minutes.
+//
+// Here: AA analyses publish per-frame pattern strings into `pending`; an
+// iteration fetches them in a collect phase, processes them with a worker
+// pool (the per-frame external-call cost is virtual, divided by pool size),
+// votes a consensus, maps it onto CG parameter refinements and tags the
+// frames.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "datastore/data_store.hpp"
+#include "feedback/feedback_manager.hpp"
+#include "mdengine/secondary_structure.hpp"
+
+namespace mummi::fb {
+
+/// CG protein parameters the feedback refines: per-residue angle stiffness
+/// and rest angle derived from the consensus secondary structure. createsim
+/// consults this for every new CG system.
+struct CgProteinParams {
+  std::string consensus;        // pattern, empty until first feedback
+  double helix_ktheta = 40.0;   // stiffness applied to helix stretches
+  double sheet_ktheta = 25.0;
+  double coil_ktheta = 10.0;
+
+  /// Angle stiffness for residue i under the current consensus.
+  [[nodiscard]] double ktheta_for(std::size_t i) const {
+    if (i >= consensus.size()) return coil_ktheta;
+    switch (consensus[i]) {
+      case 'H': return helix_ktheta;
+      case 'E': return sheet_ktheta;
+      default: return coil_ktheta;
+    }
+  }
+};
+
+struct Aa2CgConfig {
+  std::string pending_ns = "ss-pending";
+  std::string done_ns = "ss-done";
+  /// Virtual seconds per frame for the external secondary-structure calls
+  /// ("processing each frame needs two system calls ... taking ~2 s").
+  double per_frame_seconds = 2.0;
+  /// Worker-pool width dividing the per-frame cost. Default calibrated to
+  /// Fig. 8: ~1600 frames land at the ~10-minute target.
+  int pool_size = 6;
+  /// Fixed phase overhead per iteration (pool spin-up, temp files).
+  double phase_overhead = 60.0;
+  FeedbackCosts costs = FeedbackCosts::redis();
+};
+
+class AaToCgFeedback final : public FeedbackManager {
+ public:
+  AaToCgFeedback(ds::DataStorePtr store, Aa2CgConfig config = {});
+
+  IterationStats iterate() override;
+  [[nodiscard]] std::string name() const override { return "aa2cg"; }
+
+  /// Refined parameters after the latest iteration that saw data.
+  [[nodiscard]] const CgProteinParams& params() const { return params_; }
+  [[nodiscard]] std::size_t total_frames() const { return total_frames_; }
+
+ private:
+  ds::DataStorePtr store_;
+  Aa2CgConfig config_;
+  CgProteinParams params_;
+  /// Votes bucketed by chain length (RAS-only and RAS-RAF frames coexist);
+  /// the consensus comes from the best-populated length class.
+  std::map<std::size_t, std::vector<std::string>> vote_buffer_;
+  std::size_t total_frames_ = 0;
+};
+
+}  // namespace mummi::fb

@@ -1,0 +1,72 @@
+// CG-to-continuum feedback.
+//
+// Paper Sec. 4.1 item 7: "aggregates the protein-lipid radial distribution
+// functions (RDFs) computed through the online analysis of CG simulations and
+// propagates the aggregated result to the ongoing continuum simulation, which
+// reads and updates these parameters on the fly."
+//
+// Data path: CG analyses publish FeedbackRecord blobs (protein state + RDF
+// set) into the `pending` namespace of a DataStore. Each iteration lists the
+// namespace, fetches and aggregates the records per protein state, converts
+// contact enrichment into protein-lipid coupling weights, applies them to the
+// continuum model, and tags the records by moving them to `done`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "continuum/gridsim2d.hpp"
+#include "coupling/analysis.hpp"
+#include "datastore/data_store.hpp"
+#include "feedback/feedback_manager.hpp"
+
+namespace mummi::fb {
+
+/// What one CG analysis publishes per feedback interval.
+struct FeedbackRecord {
+  cont::ProteinState state = cont::ProteinState::kRasA;
+  coupling::RdfSet rdfs;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static FeedbackRecord deserialize(const util::Bytes& bytes);
+};
+
+struct Cg2ContConfig {
+  std::string pending_ns = "rdf-pending";
+  std::string done_ns = "rdf-done";
+  double contact_radius = 0.8;   // nm: bins below this count as contact
+  double weight_scale = 0.5;     // enrichment -> coupling magnitude
+  double smoothing = 0.3;        // EMA factor applied to the running model
+  FeedbackCosts costs = FeedbackCosts::redis();
+};
+
+class CgToContinuumFeedback final : public FeedbackManager {
+ public:
+  /// `target` may be null (aggregation-only mode for benches); when set, the
+  /// derived weights are applied to the running continuum model.
+  CgToContinuumFeedback(ds::DataStorePtr store, cont::GridSim2D* target,
+                        Cg2ContConfig config = {});
+
+  IterationStats iterate() override;
+  [[nodiscard]] std::string name() const override { return "cg2cont"; }
+
+  /// Latest per-(state, species) weights (empty before the first iteration
+  /// that saw data). Indexed [state * n_species + species].
+  [[nodiscard]] const std::vector<double>& last_weights() const {
+    return weights_;
+  }
+  [[nodiscard]] int n_species() const { return n_species_; }
+
+  /// Converts an aggregated per-species RDF into a coupling weight:
+  /// contact enrichment above the ideal-gas baseline becomes attraction.
+  [[nodiscard]] double weight_from_rdf(const md::RdfAccumulator& rdf) const;
+
+ private:
+  ds::DataStorePtr store_;
+  cont::GridSim2D* target_;
+  Cg2ContConfig config_;
+  std::vector<double> weights_;
+  int n_species_ = 0;
+};
+
+}  // namespace mummi::fb

@@ -1,0 +1,53 @@
+#include "mdengine/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::md {
+
+void CellList::build(const System& system, real range) {
+  MUMMI_CHECK_MSG(range > 0, "cell range must be positive");
+  nx_ = std::max(1, static_cast<int>(std::floor(system.box.length.x / range)));
+  ny_ = std::max(1, static_cast<int>(std::floor(system.box.length.y / range)));
+  nz_ = std::max(1, static_cast<int>(std::floor(system.box.length.z / range)));
+  head_.assign(static_cast<std::size_t>(n_cells()), -1);
+  next_.assign(system.size(), -1);
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const Vec3 p = system.box.wrap(system.pos[i]);
+    int cx = std::min(nx_ - 1, static_cast<int>(p.x / system.box.length.x *
+                                                static_cast<real>(nx_)));
+    int cy = std::min(ny_ - 1, static_cast<int>(p.y / system.box.length.y *
+                                                static_cast<real>(ny_)));
+    int cz = std::min(nz_ - 1, static_cast<int>(p.z / system.box.length.z *
+                                                static_cast<real>(nz_)));
+    const int c = cell_index(cx, cy, cz);
+    next_[i] = head_[c];
+    head_[c] = static_cast<int>(i);
+  }
+}
+
+void NeighborList::build(const System& system) {
+  const real range = cutoff_ + skin_;
+  cells_.build(system, range);
+  pairs_.clear();
+  const real range2 = range * range;
+  cells_.for_each_pair([&](int i, int j) {
+    const Vec3 d = system.box.min_image(system.pos[i], system.pos[j]);
+    if (d.norm2() < range2) pairs_.emplace_back(i, j);
+  });
+  ref_pos_ = system.pos;
+}
+
+bool NeighborList::needs_rebuild(const System& system) const {
+  if (ref_pos_.size() != system.size()) return true;
+  const real limit2 = 0.25 * skin_ * skin_;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const Vec3 d = system.box.min_image(system.pos[i], ref_pos_[i]);
+    if (d.norm2() > limit2) return true;
+  }
+  return false;
+}
+
+}  // namespace mummi::md

@@ -1,0 +1,96 @@
+// Linked-cell binning and Verlet neighbor lists.
+//
+// Standard O(N) pair-search machinery: particles are binned into cells of at
+// least the interaction range, candidate pairs come from a forward half
+// stencil so each cell pair is visited once, and a skin buffer lets the
+// Verlet list survive several steps between rebuilds.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "mdengine/system.hpp"
+
+namespace mummi::md {
+
+class CellList {
+ public:
+  /// Bins all particles; `range` is the minimum cell edge (cutoff + skin).
+  void build(const System& system, real range);
+
+  [[nodiscard]] int n_cells() const { return nx_ * ny_ * nz_; }
+
+  /// Visits a superset of all unordered particle pairs within `range`;
+  /// `fn(i, j)` is called with i < j, each pair exactly once. Falls back to
+  /// all-pairs when the box is too small for a 3x3x3 stencil (periodic
+  /// wrap-around would double-count cells there).
+  template <typename Fn>
+  void for_each_pair(Fn&& fn) const {
+    const int n = static_cast<int>(next_.size());
+    if (nx_ < 3 || ny_ < 3 || nz_ < 3) {
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) fn(i, j);
+      return;
+    }
+    for (int cz = 0; cz < nz_; ++cz)
+      for (int cy = 0; cy < ny_; ++cy)
+        for (int cx = 0; cx < nx_; ++cx) {
+          const int c = cell_index(cx, cy, cz);
+          for (int i = head_[c]; i >= 0; i = next_[i])
+            for (int j = next_[i]; j >= 0; j = next_[j])
+              fn(i < j ? i : j, i < j ? j : i);
+          for (const auto& offset : kForwardStencil) {
+            const int nc =
+                cell_index(wrap(cx + offset[0], nx_), wrap(cy + offset[1], ny_),
+                           wrap(cz + offset[2], nz_));
+            for (int i = head_[c]; i >= 0; i = next_[i])
+              for (int j = head_[nc]; j >= 0; j = next_[j])
+                fn(i < j ? i : j, i < j ? j : i);
+          }
+        }
+  }
+
+ private:
+  static int wrap(int c, int n) { return (c % n + n) % n; }
+  [[nodiscard]] int cell_index(int cx, int cy, int cz) const {
+    return (cz * ny_ + cy) * nx_ + cx;
+  }
+
+  static constexpr int kForwardStencil[13][3] = {
+      {1, 0, 0},  {0, 1, 0},  {1, 1, 0},  {-1, 1, 0}, {0, 0, 1},
+      {1, 0, 1},  {-1, 0, 1}, {0, 1, 1},  {1, 1, 1},  {-1, 1, 1},
+      {0, -1, 1}, {1, -1, 1}, {-1, -1, 1}};
+
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<int> head_;
+  std::vector<int> next_;
+};
+
+/// Half (i<j) Verlet pair list with a skin; tracks displacement since the
+/// last build to decide when a rebuild is due.
+class NeighborList {
+ public:
+  NeighborList(real cutoff, real skin) : cutoff_(cutoff), skin_(skin) {}
+
+  /// Rebuilds from scratch.
+  void build(const System& system);
+
+  /// True when any particle moved more than skin/2 since the last build
+  /// (or the list was never built).
+  [[nodiscard]] bool needs_rebuild(const System& system) const;
+
+  [[nodiscard]] const std::vector<std::pair<int, int>>& pairs() const {
+    return pairs_;
+  }
+  [[nodiscard]] real cutoff() const { return cutoff_; }
+
+ private:
+  real cutoff_;
+  real skin_;
+  CellList cells_;
+  std::vector<std::pair<int, int>> pairs_;
+  std::vector<Vec3> ref_pos_;
+};
+
+}  // namespace mummi::md

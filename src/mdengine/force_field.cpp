@@ -1,0 +1,127 @@
+#include "mdengine/force_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::md {
+
+namespace {
+/// Coulomb prefactor in kJ mol^-1 nm e^-2 (1/(4 pi eps0)).
+constexpr real kCoulomb = 138.935458;
+}  // namespace
+
+TypeMatrixForceField::TypeMatrixForceField(int n_types, real cutoff)
+    : n_types_(n_types), cutoff_(cutoff) {
+  MUMMI_CHECK_MSG(n_types > 0, "need at least one particle type");
+  MUMMI_CHECK_MSG(cutoff > 0, "cutoff must be positive");
+  table_.resize(static_cast<std::size_t>(n_types) *
+                static_cast<std::size_t>(n_types));
+}
+
+std::size_t TypeMatrixForceField::index(int a, int b) const {
+  MUMMI_CHECK_MSG(a >= 0 && a < n_types_ && b >= 0 && b < n_types_,
+                  "type index out of range");
+  return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_types_) +
+         static_cast<std::size_t>(b);
+}
+
+void TypeMatrixForceField::set_pair(int a, int b, PairParams params) {
+  table_[index(a, b)] = params;
+  table_[index(b, a)] = params;
+}
+
+PairParams TypeMatrixForceField::pair(int a, int b) const {
+  return table_[index(a, b)];
+}
+
+real TypeMatrixForceField::compute(System& system,
+                                   const NeighborList& neighbors) const {
+  const real rc2 = cutoff_ * cutoff_;
+  real energy = 0;
+  for (const auto& [i, j] : neighbors.pairs()) {
+    const Vec3 d = system.box.min_image(system.pos[i], system.pos[j]);
+    const real r2 = d.norm2();
+    if (r2 >= rc2 || r2 == 0) continue;
+    const PairParams& p = table_[index(system.type[i], system.type[j])];
+    real f_over_r = 0;
+
+    if (p.epsilon > 0) {
+      const real s2 = p.sigma * p.sigma / r2;
+      const real s6 = s2 * s2 * s2;
+      const real s12 = s6 * s6;
+      // Energy-shifted LJ: V(r) - V(rc).
+      const real sc2 = p.sigma * p.sigma / rc2;
+      const real sc6 = sc2 * sc2 * sc2;
+      const real shift = 4 * p.epsilon * (sc6 * sc6 - sc6);
+      energy += 4 * p.epsilon * (s12 - s6) - shift;
+      f_over_r += 24 * p.epsilon * (2 * s12 - s6) / r2;
+    }
+
+    const real qq = system.charge[i] * system.charge[j];
+    if (qq != 0) {
+      const real r = std::sqrt(r2);
+      const real pre = kCoulomb / eps_r_;
+      // Straight-cutoff Coulomb shifted to zero at rc.
+      energy += pre * qq * (1 / r - 1 / cutoff_);
+      f_over_r += pre * qq / (r2 * r);
+    }
+
+    const Vec3 f = f_over_r * d;
+    system.force[i] += f;
+    system.force[j] -= f;
+  }
+  return energy;
+}
+
+real compute_bonded(System& system) {
+  real energy = 0;
+  for (const auto& bond : system.bonds) {
+    const Vec3 d = system.box.min_image(system.pos[bond.i], system.pos[bond.j]);
+    const real r = d.norm();
+    if (r == 0) continue;
+    const real dr = r - bond.r0;
+    energy += 0.5 * bond.k * dr * dr;
+    const Vec3 f = (-bond.k * dr / r) * d;
+    system.force[bond.i] += f;
+    system.force[bond.j] -= f;
+  }
+  for (const auto& angle : system.angles) {
+    const Vec3 rij = system.box.min_image(system.pos[angle.i], system.pos[angle.j]);
+    const Vec3 rkj = system.box.min_image(system.pos[angle.k], system.pos[angle.j]);
+    const real nij = rij.norm();
+    const real nkj = rkj.norm();
+    if (nij == 0 || nkj == 0) continue;
+    real cos_t = rij.dot(rkj) / (nij * nkj);
+    cos_t = std::clamp(cos_t, static_cast<real>(-1), static_cast<real>(1));
+    const real theta = std::acos(cos_t);
+    const real dtheta = theta - angle.theta0;
+    energy += 0.5 * angle.ktheta * dtheta * dtheta;
+    // force_i = -dV/dtheta * dtheta/dr_i; dtheta/dcos = -1/sin(theta), so the
+    // two minus signs cancel. Guard sin ~ 0 at collinear geometries.
+    const real sin_t = std::sqrt(std::max(static_cast<real>(1e-12),
+                                          1 - cos_t * cos_t));
+    const real coeff = angle.ktheta * dtheta / sin_t;
+    const Vec3 di = (1 / nij) * ((1 / nkj) * rkj - (cos_t / nij) * rij);
+    const Vec3 dk = (1 / nkj) * ((1 / nij) * rij - (cos_t / nkj) * rkj);
+    system.force[angle.i] += coeff * di;
+    system.force[angle.k] += coeff * dk;
+    system.force[angle.j] -= coeff * (di + dk);
+  }
+  return energy;
+}
+
+real Restraints::compute(System& system) const {
+  MUMMI_CHECK(indices.size() == references.size());
+  real energy = 0;
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    const int i = indices[n];
+    const Vec3 d = system.box.min_image(system.pos[i], references[n]);
+    energy += 0.5 * k * d.norm2();
+    system.force[i] -= k * d;
+  }
+  return energy;
+}
+
+}  // namespace mummi::md

@@ -1,0 +1,79 @@
+// Nonbonded and bonded interactions.
+//
+// The CG scale substitutes the Martini force field (used by ddcMD in the
+// paper) with a type-matrix of cut-and-shifted Lennard-Jones interactions
+// plus screened electrostatics — the same functional forms Martini uses.
+// The AA scale reuses the machinery at smaller sigma/timestep after
+// backmapping (standing in for CHARMM36/AMBER).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mdengine/cell_list.hpp"
+#include "mdengine/system.hpp"
+
+namespace mummi::md {
+
+/// LJ well depth/size for one type pair.
+struct PairParams {
+  real epsilon = 0.0;  // kJ/mol
+  real sigma = 0.47;   // nm (the Martini bead size)
+};
+
+class ForceField {
+ public:
+  virtual ~ForceField() = default;
+
+  /// Accumulates pair forces into system.force (which the caller zeroed)
+  /// and returns the potential energy.
+  virtual real compute(System& system, const NeighborList& neighbors) const = 0;
+
+  /// Interaction range (nm) the neighbor list must cover.
+  [[nodiscard]] virtual real cutoff() const = 0;
+};
+
+/// Symmetric type-matrix LJ with energy shifted to zero at the cutoff, plus
+/// optional screened Coulomb (Martini's straight-cutoff, epsilon_r-screened
+/// electrostatics).
+class TypeMatrixForceField final : public ForceField {
+ public:
+  TypeMatrixForceField(int n_types, real cutoff);
+
+  /// Sets interaction parameters for an unordered type pair.
+  void set_pair(int a, int b, PairParams params);
+  [[nodiscard]] PairParams pair(int a, int b) const;
+
+  /// Relative dielectric for charge-charge terms (Martini: 15).
+  void set_dielectric(real eps_r) { eps_r_ = eps_r; }
+
+  [[nodiscard]] int n_types() const { return n_types_; }
+
+  real compute(System& system, const NeighborList& neighbors) const override;
+  [[nodiscard]] real cutoff() const override { return cutoff_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int a, int b) const;
+
+  int n_types_;
+  real cutoff_;
+  real eps_r_ = 15.0;
+  std::vector<PairParams> table_;
+};
+
+/// Bond + angle energy and forces (always computed, independent of lists).
+/// Returns potential energy; accumulates into system.force.
+real compute_bonded(System& system);
+
+/// Harmonic position restraints used by backmapping's restrained relaxation:
+/// V = k/2 |r_i - ref_i|^2 for each (index, reference) entry.
+struct Restraints {
+  std::vector<int> indices;
+  std::vector<Vec3> references;
+  real k = 1000.0;
+
+  /// Returns energy; accumulates forces.
+  real compute(System& system) const;
+};
+
+}  // namespace mummi::md

@@ -1,0 +1,73 @@
+#include "mdengine/gro.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace mummi::md {
+
+std::string write_gro(const System& system, const std::string& title,
+                      const GroNaming& naming) {
+  std::string out;
+  out.reserve(system.size() * 70 + 128);
+  out += title;
+  out += '\n';
+  out += util::format("%5zu\n", system.size());
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const std::string name = naming.name_for(system.type[i]);
+    // Residue id: molecule id + 1 (gro is 1-based), wrapped to 5 digits.
+    const int resid = (system.molecule[i] >= 0 ? system.molecule[i] + 1 : 1) %
+                      100000;
+    const int atomid = static_cast<int>(i + 1) % 100000;
+    out += util::format("%5d%-5s%5s%5d%8.3f%8.3f%8.3f%8.4f%8.4f%8.4f\n",
+                        resid, name.c_str(), name.c_str(), atomid,
+                        system.pos[i].x, system.pos[i].y, system.pos[i].z,
+                        system.vel[i].x, system.vel[i].y, system.vel[i].z);
+  }
+  out += util::format("%10.5f%10.5f%10.5f\n", system.box.length.x,
+                      system.box.length.y, system.box.length.z);
+  return out;
+}
+
+namespace {
+double field(const std::string& line, std::size_t pos, std::size_t width) {
+  if (line.size() < pos + width)
+    throw util::FormatError("gro line too short");
+  return std::stod(line.substr(pos, width));
+}
+}  // namespace
+
+GroFile parse_gro(const std::string& text) {
+  const auto lines = util::split(text, '\n');
+  if (lines.size() < 3) throw util::FormatError("gro file too short");
+  GroFile gro;
+  gro.title = lines[0];
+  const auto natoms = static_cast<std::size_t>(std::stoul(util::trim(lines[1])));
+  if (lines.size() < natoms + 3) throw util::FormatError("gro file truncated");
+  gro.atom_names.reserve(natoms);
+  gro.positions.reserve(natoms);
+  gro.velocities.reserve(natoms);
+  for (std::size_t i = 0; i < natoms; ++i) {
+    const std::string& line = lines[2 + i];
+    if (line.size() < 44) throw util::FormatError("gro atom line too short");
+    gro.residue_ids.push_back(std::stoi(line.substr(0, 5)));
+    gro.atom_names.push_back(util::trim(line.substr(10, 5)));
+    gro.positions.push_back({field(line, 20, 8), field(line, 28, 8),
+                             field(line, 36, 8)});
+    if (line.size() >= 68)
+      gro.velocities.push_back({field(line, 44, 8), field(line, 52, 8),
+                                field(line, 60, 8)});
+    else
+      gro.velocities.push_back({});
+  }
+  const auto box_fields = util::split(util::trim(lines[2 + natoms]), ' ');
+  std::vector<double> box;
+  for (const auto& f : box_fields)
+    if (!util::trim(f).empty()) box.push_back(std::stod(f));
+  if (box.size() < 3) throw util::FormatError("gro box line malformed");
+  gro.box.length = {box[0], box[1], box[2]};
+  return gro;
+}
+
+}  // namespace mummi::md

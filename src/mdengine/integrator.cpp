@@ -1,0 +1,92 @@
+#include "mdengine/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mummi::md {
+
+namespace {
+void zero_forces(System& system) {
+  std::fill(system.force.begin(), system.force.end(), Vec3{});
+}
+
+real refresh_forces(System& system, const ForceFn& forces) {
+  zero_forces(system);
+  return forces(system);
+}
+}  // namespace
+
+real VelocityVerlet::step(System& system, const ForceFn& forces, real dt) {
+  if (!have_forces_) {
+    refresh_forces(system, forces);
+    have_forces_ = true;
+  }
+  const std::size_t n = system.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    system.vel[i] += (0.5 * dt / system.mass[i]) * system.force[i];
+    system.pos[i] = system.box.wrap(system.pos[i] + dt * system.vel[i]);
+  }
+  const real pe = refresh_forces(system, forces);
+  for (std::size_t i = 0; i < n; ++i)
+    system.vel[i] += (0.5 * dt / system.mass[i]) * system.force[i];
+  return pe;
+}
+
+real Langevin::step(System& system, const ForceFn& forces, real dt) {
+  // BAOAB: B (half kick), A (half drift), O (Ornstein-Uhlenbeck),
+  // A (half drift), B (half kick).
+  if (!have_forces_) {
+    refresh_forces(system, forces);
+    have_forces_ = true;
+  }
+  const std::size_t n = system.size();
+  const real c1 = std::exp(-gamma_ * dt);
+  for (std::size_t i = 0; i < n; ++i) {
+    system.vel[i] += (0.5 * dt / system.mass[i]) * system.force[i];
+    system.pos[i] += (0.5 * dt) * system.vel[i];
+    const real sigma =
+        std::sqrt(kBoltzmann * temperature_ * (1 - c1 * c1) / system.mass[i]);
+    system.vel[i] = c1 * system.vel[i] +
+                    Vec3{sigma * static_cast<real>(rng_.normal()),
+                         sigma * static_cast<real>(rng_.normal()),
+                         sigma * static_cast<real>(rng_.normal())};
+    system.pos[i] = system.box.wrap(system.pos[i] + (0.5 * dt) * system.vel[i]);
+  }
+  const real pe = refresh_forces(system, forces);
+  for (std::size_t i = 0; i < n; ++i)
+    system.vel[i] += (0.5 * dt / system.mass[i]) * system.force[i];
+  return pe;
+}
+
+real minimize(System& system, const ForceFn& forces, int max_steps,
+              real initial_step, real f_tol) {
+  real step_size = initial_step;
+  real energy = refresh_forces(system, forces);
+  std::vector<Vec3> saved_pos;
+  for (int iter = 0; iter < max_steps; ++iter) {
+    real f_max2 = 0;
+    for (const auto& f : system.force) f_max2 = std::max(f_max2, f.norm2());
+    const real f_max = std::sqrt(f_max2);
+    if (f_max < f_tol) break;
+
+    saved_pos = system.pos;
+    // Displace along forces, capping the largest move at step_size.
+    const real scale = step_size / f_max;
+    for (std::size_t i = 0; i < system.size(); ++i)
+      system.pos[i] = system.box.wrap(system.pos[i] + scale * system.force[i]);
+
+    const real new_energy = refresh_forces(system, forces);
+    if (new_energy < energy) {
+      energy = new_energy;
+      step_size = std::min(step_size * 1.2, initial_step * 10);
+    } else {
+      system.pos = saved_pos;
+      refresh_forces(system, forces);
+      step_size *= 0.5;
+      if (step_size < 1e-8) break;
+    }
+  }
+  return energy;
+}
+
+}  // namespace mummi::md

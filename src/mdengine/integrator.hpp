@@ -1,0 +1,59 @@
+// Time integrators.
+#pragma once
+
+#include <functional>
+
+#include "mdengine/system.hpp"
+#include "util/rng.hpp"
+
+namespace mummi::md {
+
+/// Computes forces into system.force (after the integrator zeroes them) and
+/// returns potential energy.
+using ForceFn = std::function<real(System&)>;
+
+class Integrator {
+ public:
+  virtual ~Integrator() = default;
+  /// Advances one step of length dt; returns the potential energy at the
+  /// end-of-step configuration.
+  virtual real step(System& system, const ForceFn& forces, real dt) = 0;
+};
+
+/// Plain velocity Verlet (NVE).
+class VelocityVerlet final : public Integrator {
+ public:
+  real step(System& system, const ForceFn& forces, real dt) override;
+
+ private:
+  bool have_forces_ = false;
+};
+
+/// Langevin dynamics via the BAOAB splitting — the thermostatted workhorse
+/// for CG/AA production runs (plays the role of ddcMD's Martini integrator).
+class Langevin final : public Integrator {
+ public:
+  /// `temperature` in K, `gamma` friction in 1/ps.
+  Langevin(real temperature, real gamma, util::Rng rng)
+      : temperature_(temperature), gamma_(gamma), rng_(rng) {}
+
+  real step(System& system, const ForceFn& forces, real dt) override;
+
+  void set_temperature(real t) { temperature_ = t; }
+  [[nodiscard]] real temperature() const { return temperature_; }
+
+ private:
+  real temperature_;
+  real gamma_;
+  util::Rng rng_;
+  bool have_forces_ = false;
+};
+
+/// Steepest-descent energy minimization with adaptive step size (the
+/// GROMACS-relaxation stand-in used by createsim and backmapping).
+/// Returns the final potential energy; stops early when the maximum force
+/// falls below `f_tol` (kJ/mol/nm).
+real minimize(System& system, const ForceFn& forces, int max_steps,
+              real initial_step = 0.01, real f_tol = 10.0);
+
+}  // namespace mummi::md

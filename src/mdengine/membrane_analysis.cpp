@@ -1,0 +1,62 @@
+#include "mdengine/membrane_analysis.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::md {
+
+std::vector<double> z_density_profile(const System& system,
+                                      const std::vector<int>& selection,
+                                      std::size_t bins) {
+  MUMMI_CHECK_MSG(bins > 0, "need at least one bin");
+  std::vector<double> profile(bins, 0.0);
+  const real lz = system.box.length.z;
+  for (int i : selection) {
+    const real z = system.box.wrap(system.pos[static_cast<std::size_t>(i)]).z;
+    auto b = static_cast<std::size_t>(z / lz * static_cast<real>(bins));
+    if (b >= bins) b = bins - 1;
+    profile[b] += 1.0;
+  }
+  const double slab_volume =
+      system.box.length.x * system.box.length.y * (lz / static_cast<real>(bins));
+  for (auto& v : profile) v /= slab_volume;
+  return profile;
+}
+
+double order_parameter(const System& system,
+                       const std::vector<std::pair<int, int>>& vectors) {
+  MUMMI_CHECK_MSG(!vectors.empty(), "no vectors for order parameter");
+  double acc = 0;
+  for (const auto& [a, b] : vectors) {
+    const Vec3 d = system.box.min_image(system.pos[static_cast<std::size_t>(b)],
+                                        system.pos[static_cast<std::size_t>(a)]);
+    const real n = d.norm();
+    if (n == 0) continue;
+    const double cos_t = d.z / n;
+    acc += 0.5 * (3.0 * cos_t * cos_t - 1.0);
+  }
+  return acc / static_cast<double>(vectors.size());
+}
+
+Vec3 center_of_mass(const System& system, const std::vector<int>& selection) {
+  MUMMI_CHECK_MSG(!selection.empty(), "empty selection");
+  Vec3 sum{};
+  real mass = 0;
+  for (int i : selection) {
+    const auto idx = static_cast<std::size_t>(i);
+    sum += system.mass[idx] * system.pos[idx];
+    mass += system.mass[idx];
+  }
+  return (1.0 / mass) * sum;
+}
+
+real bilayer_thickness(const System& system,
+                       const std::vector<int>& inner_heads,
+                       const std::vector<int>& outer_heads) {
+  const Vec3 inner = center_of_mass(system, inner_heads);
+  const Vec3 outer = center_of_mass(system, outer_heads);
+  return std::abs(outer.z - inner.z);
+}
+
+}  // namespace mummi::md

@@ -1,0 +1,37 @@
+// Membrane observables beyond RDFs: transverse density profiles and lipid
+// order parameters — the standard bilayer health checks run on the CG
+// trajectories (and the quantities the paper's lipid-fingerprint analyses
+// build on).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mdengine/system.hpp"
+
+namespace mummi::md {
+
+/// Number density profile along z for a selection: counts per bin divided by
+/// slab volume, over [0, box.z) in `bins` bins.
+[[nodiscard]] std::vector<double> z_density_profile(
+    const System& system, const std::vector<int>& selection, std::size_t bins);
+
+/// Second-rank order parameter P2 = <(3 cos^2 theta - 1) / 2> of the given
+/// intra-molecular vectors (e.g. head-bead -> last tail bead) against the
+/// membrane normal (z). +1: perfectly aligned; 0: isotropic; -0.5: in-plane.
+[[nodiscard]] double order_parameter(
+    const System& system,
+    const std::vector<std::pair<int, int>>& vectors);
+
+/// Center of mass of a selection (minimum-image-safe only for compact
+/// selections; used for leaflet midplane estimates).
+[[nodiscard]] Vec3 center_of_mass(const System& system,
+                                  const std::vector<int>& selection);
+
+/// Bilayer thickness estimate: distance between the mean z of two head-bead
+/// selections (inner and outer leaflets).
+[[nodiscard]] real bilayer_thickness(const System& system,
+                                     const std::vector<int>& inner_heads,
+                                     const std::vector<int>& outer_heads);
+
+}  // namespace mummi::md

@@ -1,0 +1,104 @@
+#include "mdengine/secondary_structure.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::md {
+
+namespace {
+/// Virtual torsion over four consecutive positions (degrees, [-180, 180]).
+real torsion(const Box& box, const Vec3& p0, const Vec3& p1, const Vec3& p2,
+             const Vec3& p3) {
+  const Vec3 b1 = box.min_image(p1, p0);
+  const Vec3 b2 = box.min_image(p2, p1);
+  const Vec3 b3 = box.min_image(p3, p2);
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  const Vec3 m = n1.cross((1 / std::max(b2.norm(), static_cast<real>(1e-12))) * b2);
+  const real x = n1.dot(n2);
+  const real y = m.dot(n2);
+  return std::atan2(y, x) * 180.0 / M_PI;
+}
+
+/// Bend angle at p1 over three consecutive positions (degrees).
+real bend(const Box& box, const Vec3& p0, const Vec3& p1, const Vec3& p2) {
+  const Vec3 a = box.min_image(p0, p1);
+  const Vec3 b = box.min_image(p2, p1);
+  const real c = std::clamp(a.dot(b) / (a.norm() * b.norm() + 1e-12),
+                            static_cast<real>(-1), static_cast<real>(1));
+  return std::acos(c) * 180.0 / M_PI;
+}
+}  // namespace
+
+std::vector<SecStruct> classify_backbone(const System& system,
+                                         const std::vector<int>& backbone) {
+  const std::size_t n = backbone.size();
+  std::vector<SecStruct> out(n, SecStruct::kCoil);
+  if (n < 4) return out;
+  for (std::size_t i = 1; i + 2 < n; ++i) {
+    const Vec3& p0 = system.pos[backbone[i - 1]];
+    const Vec3& p1 = system.pos[backbone[i]];
+    const Vec3& p2 = system.pos[backbone[i + 1]];
+    const Vec3& p3 = system.pos[backbone[i + 2]];
+    const real tors = torsion(system.box, p0, p1, p2, p3);
+    const real angle = bend(system.box, p0, p1, p2);
+    // C-alpha-geometry signatures: an alpha helix has a tight bend
+    // (~85-105 deg) and ~50 deg pseudo-torsion magnitude (sign depends on
+    // handedness, which coarse traces do not reliably preserve); a beta
+    // strand is extended (bend well above 115 deg) with near-trans torsion.
+    const real abs_tors = std::abs(tors);
+    if (angle > 75 && angle < 110 && abs_tors > 25 && abs_tors < 80)
+      out[i] = SecStruct::kHelix;
+    else if (angle > 115 && abs_tors > 140)
+      out[i] = SecStruct::kSheet;
+  }
+  // Smooth out singleton assignments: H/E segments must be >= 2 residues.
+  for (std::size_t i = 1; i + 1 < n; ++i)
+    if (out[i] != SecStruct::kCoil && out[i - 1] != out[i] &&
+        out[i + 1] != out[i])
+      out[i] = SecStruct::kCoil;
+  return out;
+}
+
+std::string to_pattern(const std::vector<SecStruct>& ss) {
+  std::string out(ss.size(), 'C');
+  for (std::size_t i = 0; i < ss.size(); ++i)
+    out[i] = static_cast<char>(ss[i]);
+  return out;
+}
+
+std::vector<SecStruct> from_pattern(const std::string& pattern) {
+  std::vector<SecStruct> out;
+  out.reserve(pattern.size());
+  for (char c : pattern) {
+    MUMMI_CHECK_MSG(c == 'H' || c == 'E' || c == 'C',
+                    "invalid secondary-structure code");
+    out.push_back(static_cast<SecStruct>(c));
+  }
+  return out;
+}
+
+std::string consensus_pattern(const std::vector<std::string>& patterns) {
+  MUMMI_CHECK_MSG(!patterns.empty(), "no patterns to vote on");
+  const std::size_t len = patterns.front().size();
+  for (const auto& p : patterns)
+    MUMMI_CHECK_MSG(p.size() == len, "pattern length mismatch");
+  std::string out(len, 'C');
+  for (std::size_t i = 0; i < len; ++i) {
+    std::array<int, 3> votes{};  // H, E, C
+    for (const auto& p : patterns) {
+      if (p[i] == 'H') ++votes[0];
+      else if (p[i] == 'E') ++votes[1];
+      else ++votes[2];
+    }
+    const auto best = static_cast<std::size_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    out[i] = best == 0 ? 'H' : best == 1 ? 'E' : 'C';
+  }
+  return out;
+}
+
+}  // namespace mummi::md

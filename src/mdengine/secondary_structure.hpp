@@ -1,0 +1,40 @@
+// Secondary-structure classification of protein backbones.
+//
+// The AA-to-CG feedback computes "the secondary structures of the proteins
+// ... from AA frames" and refines the CG protein force-field parameters with
+// the most common pattern (paper Sec. 4.1 item 7). The paper shells out to
+// an external tool (~2 s per frame); we implement the classification
+// directly: per-residue virtual C-alpha geometry (bend angle + torsion over
+// i-1..i+2 windows) is matched against helix/sheet signatures, the standard
+// backbone-geometry approach of DSSP-like methods.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdengine/system.hpp"
+
+namespace mummi::md {
+
+enum class SecStruct : char {
+  kHelix = 'H',
+  kSheet = 'E',
+  kCoil = 'C',
+};
+
+/// Classifies each residue of a backbone trace (positions of consecutive
+/// C-alpha-like beads). Terminal residues (first and last two) are coil.
+[[nodiscard]] std::vector<SecStruct> classify_backbone(
+    const System& system, const std::vector<int>& backbone);
+
+/// Renders as "HHHEEC..." strings (the per-frame pattern feedback votes on).
+[[nodiscard]] std::string to_pattern(const std::vector<SecStruct>& ss);
+[[nodiscard]] std::vector<SecStruct> from_pattern(const std::string& pattern);
+
+/// Per-position majority vote over many patterns of equal length — the
+/// "most common pattern of protein secondary structure observed in the AA
+/// simulations".
+[[nodiscard]] std::string consensus_pattern(
+    const std::vector<std::string>& patterns);
+
+}  // namespace mummi::md

@@ -1,0 +1,51 @@
+#include "mdengine/system.hpp"
+
+namespace mummi::md {
+
+void System::zero_momentum() {
+  if (size() == 0) return;
+  Vec3 p{};
+  real m_total = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    p += mass[i] * vel[i];
+    m_total += mass[i];
+  }
+  const Vec3 v_cm = (1.0 / m_total) * p;
+  for (auto& v : vel) v -= v_cm;
+}
+
+util::Bytes System::serialize() const {
+  util::ByteWriter w;
+  w.f64(box.length.x);
+  w.f64(box.length.y);
+  w.f64(box.length.z);
+  w.vec(pos);
+  w.vec(vel);
+  w.vec(mass);
+  w.vec(charge);
+  w.vec(type);
+  w.vec(molecule);
+  w.vec(bonds);
+  w.vec(angles);
+  return std::move(w).take();
+}
+
+System System::deserialize(const util::Bytes& data) {
+  util::ByteReader r(data);
+  System s;
+  s.box.length.x = r.f64();
+  s.box.length.y = r.f64();
+  s.box.length.z = r.f64();
+  s.pos = r.vec<Vec3>();
+  s.vel = r.vec<Vec3>();
+  s.mass = r.vec<real>();
+  s.charge = r.vec<real>();
+  s.type = r.vec<int>();
+  s.molecule = r.vec<int>();
+  s.bonds = r.vec<Bond>();
+  s.angles = r.vec<Angle>();
+  s.force.assign(s.pos.size(), Vec3{});
+  return s;
+}
+
+}  // namespace mummi::md

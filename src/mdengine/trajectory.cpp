@@ -1,0 +1,93 @@
+#include "mdengine/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::md {
+
+namespace {
+constexpr std::uint32_t kFrameMagic = 0x4d544a46;  // "MTJF"
+}
+
+TrajectoryWriter::TrajectoryWriter(ds::DataStorePtr store, std::string tag,
+                                   double precision)
+    : store_(std::move(store)),
+      ns_("traj-" + tag),
+      precision_(precision) {
+  MUMMI_CHECK(store_ != nullptr);
+  MUMMI_CHECK_MSG(precision > 0, "precision must be positive");
+}
+
+util::Bytes TrajectoryWriter::encode(const System& system, long step,
+                                     double time_ps, double precision) {
+  util::ByteWriter w;
+  w.u32(kFrameMagic);
+  w.i64(step);
+  w.f64(time_ps);
+  w.f64(precision);
+  w.f64(system.box.length.x);
+  w.f64(system.box.length.y);
+  w.f64(system.box.length.z);
+  w.u64(system.size());
+  // Quantized coordinates: int32 lattice indices at `precision` nm.
+  std::vector<std::int32_t> q;
+  q.reserve(system.size() * 3);
+  for (const auto& p : system.pos) {
+    const Vec3 wrapped = system.box.wrap(p);
+    q.push_back(static_cast<std::int32_t>(std::lround(wrapped.x / precision)));
+    q.push_back(static_cast<std::int32_t>(std::lround(wrapped.y / precision)));
+    q.push_back(static_cast<std::int32_t>(std::lround(wrapped.z / precision)));
+  }
+  w.vec(q);
+  return std::move(w).take();
+}
+
+TrajectoryFrame TrajectoryWriter::decode(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32() != kFrameMagic)
+    throw util::FormatError("not a trajectory frame");
+  TrajectoryFrame frame;
+  frame.step = r.i64();
+  frame.time_ps = r.f64();
+  const double precision = r.f64();
+  frame.box.length.x = r.f64();
+  frame.box.length.y = r.f64();
+  frame.box.length.z = r.f64();
+  const auto n = r.u64();
+  const auto q = r.vec<std::int32_t>();
+  MUMMI_CHECK_MSG(q.size() == n * 3, "trajectory frame corrupt");
+  frame.positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    frame.positions.push_back({q[3 * i] * precision, q[3 * i + 1] * precision,
+                               q[3 * i + 2] * precision});
+  return frame;
+}
+
+void TrajectoryWriter::write(const System& system, long step, double time_ps) {
+  store_->put(ns_, "frame-" + std::to_string(step),
+              encode(system, step, time_ps, precision_));
+  ++frames_;
+}
+
+TrajectoryReader::TrajectoryReader(ds::DataStorePtr store, std::string tag)
+    : store_(std::move(store)), ns_("traj-" + tag) {
+  MUMMI_CHECK(store_ != nullptr);
+}
+
+std::vector<long> TrajectoryReader::steps() const {
+  std::vector<long> out;
+  for (const auto& key : store_->keys(ns_, "frame-*"))
+    out.push_back(std::stol(key.substr(6)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<TrajectoryFrame> TrajectoryReader::frame(long step) const {
+  const std::string key = "frame-" + std::to_string(step);
+  if (!store_->exists(ns_, key)) return std::nullopt;
+  return TrajectoryWriter::decode(store_->get(ns_, key));
+}
+
+}  // namespace mummi::md

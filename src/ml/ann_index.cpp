@@ -1,0 +1,133 @@
+#include "ml/ann_index.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mummi::ml {
+
+std::optional<Neighbor> BruteForceIndex::nearest(
+    const std::vector<float>& query) const {
+  std::optional<Neighbor> best;
+  for (const auto& p : points_) {
+    const float d2 = dist2(query, p.coords);
+    if (!best || d2 < best->dist2) best = Neighbor{p.id, d2};
+  }
+  return best;
+}
+
+std::vector<Neighbor> BruteForceIndex::knn(const std::vector<float>& query,
+                                           std::size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (const auto& p : points_) all.push_back({p.id, dist2(query, p.coords)});
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.dist2 < b.dist2;
+                    });
+  all.resize(take);
+  return all;
+}
+
+KdTreeIndex::KdTreeIndex(int dim) : dim_(dim) {
+  MUMMI_CHECK_MSG(dim > 0, "index dimension must be positive");
+}
+
+void KdTreeIndex::add(const HDPoint& point) {
+  MUMMI_CHECK_MSG(static_cast<int>(point.coords.size()) == dim_,
+                  "point dimension mismatch");
+  buffer_.push_back(point);
+  if (buffer_.size() > 32 && buffer_.size() * 4 > tree_points_.size())
+    rebuild();
+}
+
+void KdTreeIndex::rebuild() {
+  tree_points_.insert(tree_points_.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  nodes_.clear();
+  nodes_.reserve(tree_points_.size());
+  std::vector<int> ids(tree_points_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  root_ = build_recursive(ids, 0, static_cast<int>(ids.size()), 0);
+}
+
+int KdTreeIndex::build_recursive(std::vector<int>& ids, int lo, int hi,
+                                 int depth) {
+  if (lo >= hi) return -1;
+  const int axis = depth % dim_;
+  const int mid = (lo + hi) / 2;
+  std::nth_element(ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+                   [&](int a, int b) {
+                     return tree_points_[a].coords[axis] <
+                            tree_points_[b].coords[axis];
+                   });
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{ids[mid], axis, -1, -1});
+  const int left = build_recursive(ids, lo, mid, depth + 1);
+  const int right = build_recursive(ids, mid + 1, hi, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void KdTreeIndex::push_candidate(std::vector<Neighbor>& best, std::size_t k,
+                                 Neighbor candidate) {
+  if (best.size() < k) {
+    best.push_back(candidate);
+    std::push_heap(best.begin(), best.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.dist2 < b.dist2;
+                   });
+  } else if (candidate.dist2 < best.front().dist2) {
+    std::pop_heap(best.begin(), best.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    return a.dist2 < b.dist2;
+                  });
+    best.back() = candidate;
+    std::push_heap(best.begin(), best.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.dist2 < b.dist2;
+                   });
+  }
+}
+
+void KdTreeIndex::search(int node, const std::vector<float>& query,
+                         std::vector<Neighbor>& best, std::size_t k) const {
+  if (node < 0) return;
+  const Node& nd = nodes_[node];
+  const HDPoint& p = tree_points_[nd.point];
+  push_candidate(best, k, Neighbor{p.id, dist2(query, p.coords)});
+  const float delta = query[nd.axis] - p.coords[nd.axis];
+  const int near = delta < 0 ? nd.left : nd.right;
+  const int far = delta < 0 ? nd.right : nd.left;
+  search(near, query, best, k);
+  if (best.size() < k || delta * delta < best.front().dist2)
+    search(far, query, best, k);
+}
+
+std::optional<Neighbor> KdTreeIndex::nearest(
+    const std::vector<float>& query) const {
+  auto result = knn(query, 1);
+  if (result.empty()) return std::nullopt;
+  return result.front();
+}
+
+std::vector<Neighbor> KdTreeIndex::knn(const std::vector<float>& query,
+                                       std::size_t k) const {
+  MUMMI_CHECK_MSG(static_cast<int>(query.size()) == dim_,
+                  "query dimension mismatch");
+  std::vector<Neighbor> best;  // max-heap on dist2
+  best.reserve(k + 1);
+  search(root_, query, best, k);
+  for (const auto& p : buffer_)
+    push_candidate(best, k, Neighbor{p.id, dist2(query, p.coords)});
+  std::sort_heap(best.begin(), best.end(),
+                 [](const Neighbor& a, const Neighbor& b) {
+                   return a.dist2 < b.dist2;
+                 });
+  return best;
+}
+
+}  // namespace mummi::ml

@@ -1,0 +1,86 @@
+// Nearest-neighbor indices over L2 (the FAISS substitute).
+//
+// Paper Task 2: patch ranks "are updated using approximate nearest neighbor
+// queries (with L2 distances) powered by the FAISS framework". The selectors
+// here only ever query against the *selected* set (small), so an exact
+// KD-tree with periodic rebuilds covers the need at reproduction scale.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ml/point.hpp"
+
+namespace mummi::ml {
+
+struct Neighbor {
+  PointId id = 0;
+  float dist2 = 0;
+};
+
+class NnIndex {
+ public:
+  virtual ~NnIndex() = default;
+  virtual void add(const HDPoint& point) = 0;
+  /// Nearest neighbor of `query`; nullopt when the index is empty.
+  [[nodiscard]] virtual std::optional<Neighbor> nearest(
+      const std::vector<float>& query) const = 0;
+  /// k nearest neighbors, closest first.
+  [[nodiscard]] virtual std::vector<Neighbor> knn(
+      const std::vector<float>& query, std::size_t k) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+/// Exact linear scan — the correctness reference.
+class BruteForceIndex final : public NnIndex {
+ public:
+  void add(const HDPoint& point) override { points_.push_back(point); }
+  [[nodiscard]] std::optional<Neighbor> nearest(
+      const std::vector<float>& query) const override;
+  [[nodiscard]] std::vector<Neighbor> knn(const std::vector<float>& query,
+                                          std::size_t k) const override;
+  [[nodiscard]] std::size_t size() const override { return points_.size(); }
+
+ private:
+  std::vector<HDPoint> points_;
+};
+
+/// Exact KD-tree with buffered inserts: new points accumulate in a brute
+/// buffer and the tree is rebuilt when the buffer outgrows a fraction of the
+/// tree, amortizing construction.
+class KdTreeIndex final : public NnIndex {
+ public:
+  explicit KdTreeIndex(int dim);
+
+  void add(const HDPoint& point) override;
+  [[nodiscard]] std::optional<Neighbor> nearest(
+      const std::vector<float>& query) const override;
+  [[nodiscard]] std::vector<Neighbor> knn(const std::vector<float>& query,
+                                          std::size_t k) const override;
+  [[nodiscard]] std::size_t size() const override {
+    return tree_points_.size() + buffer_.size();
+  }
+
+ private:
+  struct Node {
+    int point = -1;   // index into tree_points_
+    int axis = 0;
+    int left = -1, right = -1;
+  };
+
+  void rebuild();
+  int build_recursive(std::vector<int>& ids, int lo, int hi, int depth);
+  void search(int node, const std::vector<float>& query,
+              std::vector<Neighbor>& best, std::size_t k) const;
+  static void push_candidate(std::vector<Neighbor>& best, std::size_t k,
+                             Neighbor candidate);
+
+  int dim_;
+  std::vector<HDPoint> tree_points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::vector<HDPoint> buffer_;
+};
+
+}  // namespace mummi::ml

@@ -1,0 +1,129 @@
+#include "ml/fps_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::ml {
+
+FpsSampler::FpsSampler(int dim, std::size_t capacity)
+    : dim_(dim), capacity_(capacity), selected_index_(dim) {
+  MUMMI_CHECK_MSG(dim > 0 && capacity > 0, "invalid FPS configuration");
+}
+
+void FpsSampler::add_candidates(const std::vector<HDPoint>& points) {
+  std::vector<PointId> ids;
+  ids.reserve(points.size());
+  for (const auto& p : points) {
+    MUMMI_CHECK_MSG(static_cast<int>(p.coords.size()) == dim_,
+                    "candidate dimension mismatch");
+    pending_.push_back(p);
+    ids.push_back(p.id);
+  }
+  record('A', std::move(ids));
+}
+
+void FpsSampler::update_ranks() {
+  for (auto& p : pending_) {
+    Candidate c;
+    c.point = std::move(p);
+    if (auto nn = selected_index_.nearest(c.point.coords)) c.rank2 = nn->dist2;
+    ranked_.push_back(std::move(c));
+  }
+  pending_.clear();
+  evict_to_capacity();
+}
+
+void FpsSampler::evict_to_capacity() {
+  if (ranked_.size() <= capacity_) return;
+  // Keep the `capacity_` most novel candidates.
+  std::nth_element(ranked_.begin(),
+                   ranked_.begin() + static_cast<long>(capacity_),
+                   ranked_.end(), [](const Candidate& a, const Candidate& b) {
+                     return a.rank2 > b.rank2;
+                   });
+  ranked_.resize(capacity_);
+}
+
+std::vector<HDPoint> FpsSampler::select(std::size_t k) {
+  update_ranks();
+  std::vector<HDPoint> out;
+  std::vector<PointId> ids;
+  while (out.size() < k && !ranked_.empty()) {
+    // Highest rank wins; ties break on lowest id for determinism.
+    auto best = ranked_.begin();
+    for (auto it = ranked_.begin() + 1; it != ranked_.end(); ++it)
+      if (it->rank2 > best->rank2 ||
+          (it->rank2 == best->rank2 && it->point.id < best->point.id))
+        best = it;
+    HDPoint chosen = std::move(best->point);
+    *best = std::move(ranked_.back());
+    ranked_.pop_back();
+    // The new selection tightens every remaining candidate's rank.
+    for (auto& c : ranked_) {
+      const float d2 = dist2(c.point.coords, chosen.coords);
+      if (d2 < c.rank2) c.rank2 = d2;
+    }
+    selected_index_.add(chosen);
+    selected_points_.push_back(chosen);
+    ++n_selected_;
+    ids.push_back(chosen.id);
+    out.push_back(std::move(chosen));
+  }
+  record('S', std::move(ids));
+  return out;
+}
+
+float FpsSampler::rank_of(PointId id) const {
+  for (const auto& c : ranked_)
+    if (c.point.id == id) return std::sqrt(c.rank2);
+  return std::numeric_limits<float>::quiet_NaN();
+}
+
+util::Bytes FpsSampler::serialize() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(dim_));
+  w.u64(capacity_);
+  auto write_point = [&w](const HDPoint& p, float rank2) {
+    w.u64(p.id);
+    w.vec(p.coords);
+    w.f32(rank2);
+  };
+  w.u64(ranked_.size() + pending_.size());
+  for (const auto& c : ranked_) write_point(c.point, c.rank2);
+  for (const auto& p : pending_)
+    write_point(p, std::numeric_limits<float>::infinity());
+  w.u64(selected_points_.size());
+  for (const auto& p : selected_points_) write_point(p, 0.0f);
+  return std::move(w).take();
+}
+
+FpsSampler FpsSampler::deserialize(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  const int dim = static_cast<int>(r.u32());
+  const auto capacity = r.u64();
+  FpsSampler s(dim, capacity);
+  auto read_point = [&r](HDPoint& p) -> float {
+    p.id = r.u64();
+    p.coords = r.vec<float>();
+    return r.f32();
+  };
+  const auto n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Candidate c;
+    c.rank2 = read_point(c.point);
+    s.ranked_.push_back(std::move(c));
+  }
+  const auto nsel = r.u64();
+  for (std::uint64_t i = 0; i < nsel; ++i) {
+    HDPoint p;
+    (void)read_point(p);
+    s.selected_index_.add(p);
+    s.selected_points_.push_back(std::move(p));
+  }
+  s.n_selected_ = s.selected_points_.size();
+  return s;
+}
+
+}  // namespace mummi::ml

@@ -1,0 +1,56 @@
+// Farthest-point sampler over L2 — the Patch Selector's core.
+//
+// Rank(candidate) = distance to the nearest already-selected point; selecting
+// always takes the highest rank ("most novel"). Additions are O(1) (lazy);
+// ranks refresh at selection time against a KD-tree of selected points. The
+// pool is capped (paper: 35,000 per queue); the least novel candidates are
+// evicted first.
+#pragma once
+
+#include <limits>
+
+#include "ml/ann_index.hpp"
+#include "ml/sampler.hpp"
+
+namespace mummi::ml {
+
+class FpsSampler final : public Sampler {
+ public:
+  FpsSampler(int dim, std::size_t capacity);
+
+  void add_candidates(const std::vector<HDPoint>& points) override;
+  std::vector<HDPoint> select(std::size_t k) override;
+  void update_ranks() override;
+
+  [[nodiscard]] std::size_t candidate_count() const override {
+    return ranked_.size() + pending_.size();
+  }
+  [[nodiscard]] std::size_t selected_count() const override {
+    return n_selected_;
+  }
+
+  /// Current novelty rank of a candidate (sqrt of nearest-selected dist2);
+  /// infinity when nothing was selected yet. For tests/diagnostics.
+  [[nodiscard]] float rank_of(PointId id) const;
+
+  [[nodiscard]] util::Bytes serialize() const override;
+  static FpsSampler deserialize(const util::Bytes& bytes);
+
+ private:
+  struct Candidate {
+    HDPoint point;
+    float rank2 = std::numeric_limits<float>::infinity();
+  };
+
+  void evict_to_capacity();
+
+  int dim_;
+  std::size_t capacity_;
+  std::vector<Candidate> ranked_;
+  std::vector<HDPoint> pending_;
+  KdTreeIndex selected_index_;
+  std::vector<HDPoint> selected_points_;  // persisted for checkpoint/restore
+  std::size_t n_selected_ = 0;
+};
+
+}  // namespace mummi::ml

@@ -1,0 +1,31 @@
+// High-dimensional points — the currency of the selection layer.
+//
+// Paper Task 2: "Both selectors operate on DynIm's high-dimensional point
+// objects and, hence, are agnostic to the specific encoding of patches and
+// frames."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mummi::ml {
+
+using PointId = std::uint64_t;
+
+struct HDPoint {
+  PointId id = 0;
+  std::vector<float> coords;
+};
+
+/// Squared L2 distance.
+[[nodiscard]] inline float dist2(const std::vector<float>& a,
+                                 const std::vector<float>& b) {
+  float s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace mummi::ml

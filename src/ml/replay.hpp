@@ -1,0 +1,80 @@
+// Exact history replay for samplers.
+//
+// Paper Sec. 4.4: "key components (ML and job scheduling) also maintain
+// elaborate history files that may be replayed exactly, if necessary."
+// Samplers record add/select events (Sampler::history()); replay_history
+// re-drives a *fresh* sampler through the same event stream, fetching the
+// candidate payloads from an archive (pytaridx in production) through the
+// caller's lookup, and verifies that every selection reproduces the record.
+#pragma once
+
+#include <functional>
+
+#include "ml/sampler.hpp"
+#include "util/error.hpp"
+
+namespace mummi::ml {
+
+/// Resolves a candidate id back to its encoded point (e.g. reading the
+/// patch archive and re-encoding).
+using CandidateLookup = std::function<HDPoint(PointId)>;
+
+/// Replays `history` onto `sampler` (which must be freshly constructed with
+/// the same configuration and seed as the original). With `verify`, a
+/// selection that deviates from the record throws util::Error — detecting
+/// configuration drift between the run and the replay.
+inline void replay_history(Sampler& sampler,
+                           const std::vector<Sampler::Event>& history,
+                           const CandidateLookup& lookup, bool verify = true) {
+  MUMMI_CHECK_MSG(sampler.candidate_count() == 0 &&
+                      sampler.selected_count() == 0,
+                  "replay target must be a fresh sampler");
+  for (const auto& event : history) {
+    if (event.op == 'A') {
+      std::vector<HDPoint> batch;
+      batch.reserve(event.ids.size());
+      for (const PointId id : event.ids) batch.push_back(lookup(id));
+      sampler.add_candidates(batch);
+    } else if (event.op == 'S') {
+      const auto picked = sampler.select(event.ids.size());
+      if (verify) {
+        MUMMI_CHECK_MSG(picked.size() == event.ids.size(),
+                        "replay selection count diverged");
+        for (std::size_t i = 0; i < picked.size(); ++i)
+          MUMMI_CHECK_MSG(picked[i].id == event.ids[i],
+                          "replay selection diverged from history");
+      }
+    } else {
+      throw util::Error("unknown history op");
+    }
+  }
+}
+
+/// Serializes a history to bytes (for the on-disk history files).
+[[nodiscard]] inline util::Bytes serialize_history(
+    const std::vector<Sampler::Event>& history) {
+  util::ByteWriter w;
+  w.u64(history.size());
+  for (const auto& event : history) {
+    w.u8(static_cast<std::uint8_t>(event.op));
+    w.vec(event.ids);
+  }
+  return std::move(w).take();
+}
+
+[[nodiscard]] inline std::vector<Sampler::Event> deserialize_history(
+    const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  std::vector<Sampler::Event> history;
+  const auto n = r.u64();
+  history.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Sampler::Event event;
+    event.op = static_cast<char>(r.u8());
+    event.ids = r.vec<PointId>();
+    history.push_back(std::move(event));
+  }
+  return history;
+}
+
+}  // namespace mummi::ml

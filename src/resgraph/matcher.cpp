@@ -1,0 +1,141 @@
+#include "resgraph/matcher.hpp"
+
+#include <algorithm>
+
+namespace mummi::sched {
+
+namespace {
+/// Claims up to `max_slots` slots of the given shape from one node, taking
+/// lowest-index free cores/GPUs. Appends to `out` and returns slots carved.
+/// `visits` counts each inspected core/GPU vertex.
+int carve_node(const ResourceGraph& graph, int node, const Slot& slot,
+               int max_slots, std::vector<NodeAlloc>& out,
+               std::uint64_t& visits) {
+  const auto& spec = graph.spec();
+  int carved = 0;
+  int next_core = 0;
+  int next_gpu = 0;
+  while (carved < max_slots) {
+    NodeAlloc alloc;
+    alloc.node = node;
+    // Cores.
+    while (static_cast<int>(alloc.cores.size()) < slot.cores &&
+           next_core < spec.cores_per_node()) {
+      ++visits;
+      if (graph.core_free(node, next_core)) alloc.cores.push_back(next_core);
+      ++next_core;
+    }
+    if (static_cast<int>(alloc.cores.size()) < slot.cores) break;
+    // GPUs.
+    while (static_cast<int>(alloc.gpus.size()) < slot.gpus &&
+           next_gpu < spec.gpus_per_node) {
+      ++visits;
+      if (graph.gpu_free(node, next_gpu)) alloc.gpus.push_back(next_gpu);
+      ++next_gpu;
+    }
+    if (static_cast<int>(alloc.gpus.size()) < slot.gpus) break;
+    out.push_back(std::move(alloc));
+    ++carved;
+  }
+  return carved;
+}
+
+/// Cheap capacity pre-check so the carver is only invoked on viable nodes.
+bool node_viable(const ResourceGraph& graph, int node, const Slot& slot) {
+  return !graph.drained(node) && graph.free_cores(node) >= slot.cores &&
+         graph.free_gpus(node) >= slot.gpus;
+}
+}  // namespace
+
+std::optional<Allocation> ExhaustiveMatcher::match(const ResourceGraph& graph,
+                                                   const Request& request) {
+  const auto& spec = graph.spec();
+  // The pre-fix policy walks the whole graph scoring every vertex before it
+  // selects ("R essentially traverses the resource graph in its entirety for
+  // each job"). The traversal is performed for real — every core and GPU
+  // flag is inspected — so wall-clock comparisons against the first-match
+  // policy are honest.
+  ++visits_;  // cluster vertex
+  int total_free_cores = 0;
+  int total_free_gpus = 0;
+  for (int node = 0; node < spec.nodes; ++node) {
+    visits_ += 1 + static_cast<std::uint64_t>(spec.sockets_per_node);
+    for (int c = 0; c < spec.cores_per_node(); ++c) {
+      ++visits_;
+      if (graph.core_free(node, c)) ++total_free_cores;
+    }
+    for (int g = 0; g < spec.gpus_per_node; ++g) {
+      ++visits_;
+      if (graph.gpu_free(node, g)) ++total_free_gpus;
+    }
+  }
+  if (total_free_cores < request.slot.cores * request.nslots ||
+      total_free_gpus < request.slot.gpus * request.nslots)
+    return std::nullopt;
+
+  Allocation result;
+  int remaining = request.nslots;
+  for (int node = 0; node < spec.nodes && remaining > 0; ++node) {
+    if (!node_viable(graph, node, request.slot)) continue;
+    const int cap = request.one_slot_per_node ? 1 : remaining;
+    std::uint64_t carve_visits = 0;  // already paid for by the full traversal
+    remaining -= carve_node(graph, node, request.slot, cap, result.slots,
+                            carve_visits);
+  }
+  if (remaining > 0) return std::nullopt;
+  return result;
+}
+
+std::optional<Allocation> FirstMatchMatcher::match(const ResourceGraph& graph,
+                                                   const Request& request) {
+  const auto& spec = graph.spec();
+  Allocation result;
+  int remaining = request.nslots;
+  int inspected = 0;
+  int node = cursor_;
+  int last_used = cursor_;
+  while (remaining > 0 && inspected < spec.nodes) {
+    ++visits_;  // node vertex
+    if (node_viable(graph, node, request.slot)) {
+      const int cap = request.one_slot_per_node ? 1 : remaining;
+      const int carved =
+          carve_node(graph, node, request.slot, cap, result.slots, visits_);
+      remaining -= carved;
+      if (carved > 0) last_used = node;
+    }
+    node = (node + 1) % spec.nodes;
+    ++inspected;
+  }
+  if (remaining > 0) return std::nullopt;
+  // Resume scanning near the last placement; nodes behind the cursor refill
+  // as jobs finish and are revisited on wrap-around.
+  cursor_ = last_used;
+  return result;
+}
+
+ClusterSpec subinstance_spec(const Allocation& alloc) {
+  MUMMI_CHECK_MSG(!alloc.empty(), "cannot nest inside an empty allocation");
+  const auto cores = alloc.slots.front().cores.size();
+  const auto gpus = alloc.slots.front().gpus.size();
+  for (const auto& slot : alloc.slots)
+    MUMMI_CHECK_MSG(slot.cores.size() == cores && slot.gpus.size() == gpus,
+                    "nested instance requires uniform slots");
+  ClusterSpec spec;
+  spec.nodes = static_cast<int>(alloc.slots.size());
+  spec.sockets_per_node = 1;
+  spec.cores_per_socket = static_cast<int>(cores);
+  spec.gpus_per_node = static_cast<int>(gpus);
+  return spec;
+}
+
+std::unique_ptr<Matcher> make_matcher(MatchPolicy policy) {
+  switch (policy) {
+    case MatchPolicy::kExhaustiveLowId:
+      return std::make_unique<ExhaustiveMatcher>();
+    case MatchPolicy::kFirstMatch:
+      return std::make_unique<FirstMatchMatcher>();
+  }
+  throw util::Error("unknown match policy");
+}
+
+}  // namespace mummi::sched

@@ -1,0 +1,108 @@
+#include "resgraph/resource_graph.hpp"
+
+namespace mummi::sched {
+
+ResourceGraph::ResourceGraph(ClusterSpec spec) : spec_(spec) {
+  MUMMI_CHECK_MSG(spec.nodes > 0 && spec.sockets_per_node > 0 &&
+                      spec.cores_per_socket > 0 && spec.gpus_per_node >= 0,
+                  "invalid cluster spec");
+  nodes_.resize(static_cast<std::size_t>(spec.nodes));
+  for (auto& node : nodes_) {
+    node.core_used.assign(static_cast<std::size_t>(spec.cores_per_node()), false);
+    node.gpu_used.assign(static_cast<std::size_t>(spec.gpus_per_node), false);
+    node.free_cores = spec.cores_per_node();
+    node.free_gpus = spec.gpus_per_node;
+  }
+}
+
+std::size_t ResourceGraph::n_vertices() const {
+  const auto per_node = 1 + spec_.sockets_per_node + spec_.cores_per_node() +
+                        spec_.gpus_per_node;
+  return 1 + static_cast<std::size_t>(spec_.nodes) *
+                 static_cast<std::size_t>(per_node);
+}
+
+bool ResourceGraph::core_free(int node, int core) const {
+  return !nodes_[node].core_used[core];
+}
+
+bool ResourceGraph::gpu_free(int node, int gpu) const {
+  return !nodes_[node].gpu_used[gpu];
+}
+
+int ResourceGraph::free_cores(int node) const { return nodes_[node].free_cores; }
+int ResourceGraph::free_gpus(int node) const { return nodes_[node].free_gpus; }
+
+int ResourceGraph::total_free_cores() const {
+  return spec_.nodes * spec_.cores_per_node() - used_cores_;
+}
+
+int ResourceGraph::total_free_gpus() const {
+  return spec_.nodes * spec_.gpus_per_node - used_gpus_;
+}
+
+void ResourceGraph::drain(int node) { nodes_[node].drained = true; }
+void ResourceGraph::undrain(int node) { nodes_[node].drained = false; }
+
+void ResourceGraph::expand(int extra_nodes) {
+  MUMMI_CHECK_MSG(extra_nodes > 0, "expand needs a positive node count");
+  for (int n = 0; n < extra_nodes; ++n) {
+    Node node;
+    node.core_used.assign(static_cast<std::size_t>(spec_.cores_per_node()),
+                          false);
+    node.gpu_used.assign(static_cast<std::size_t>(spec_.gpus_per_node), false);
+    node.free_cores = spec_.cores_per_node();
+    node.free_gpus = spec_.gpus_per_node;
+    nodes_.push_back(std::move(node));
+  }
+  spec_.nodes += extra_nodes;
+}
+
+bool ResourceGraph::shrink() {
+  if (spec_.nodes <= 1) return false;
+  const Node& last = nodes_.back();
+  if (last.free_cores != spec_.cores_per_node() ||
+      last.free_gpus != spec_.gpus_per_node)
+    return false;  // busy nodes cannot be reclaimed
+  nodes_.pop_back();
+  --spec_.nodes;
+  return true;
+}
+
+void ResourceGraph::allocate(const Allocation& alloc) {
+  for (const auto& slot : alloc.slots) {
+    Node& node = nodes_[slot.node];
+    for (int c : slot.cores) {
+      MUMMI_CHECK_MSG(!node.core_used[c], "double allocation of core");
+      node.core_used[c] = true;
+    }
+    for (int g : slot.gpus) {
+      MUMMI_CHECK_MSG(!node.gpu_used[g], "double allocation of gpu");
+      node.gpu_used[g] = true;
+    }
+    node.free_cores -= static_cast<int>(slot.cores.size());
+    node.free_gpus -= static_cast<int>(slot.gpus.size());
+    used_cores_ += static_cast<int>(slot.cores.size());
+    used_gpus_ += static_cast<int>(slot.gpus.size());
+  }
+}
+
+void ResourceGraph::release(const Allocation& alloc) {
+  for (const auto& slot : alloc.slots) {
+    Node& node = nodes_[slot.node];
+    for (int c : slot.cores) {
+      MUMMI_CHECK_MSG(node.core_used[c], "release of unallocated core");
+      node.core_used[c] = false;
+    }
+    for (int g : slot.gpus) {
+      MUMMI_CHECK_MSG(node.gpu_used[g], "release of unallocated gpu");
+      node.gpu_used[g] = false;
+    }
+    node.free_cores += static_cast<int>(slot.cores.size());
+    node.free_gpus += static_cast<int>(slot.gpus.size());
+    used_cores_ -= static_cast<int>(slot.cores.size());
+    used_gpus_ -= static_cast<int>(slot.gpus.size());
+  }
+}
+
+}  // namespace mummi::sched

@@ -1,0 +1,117 @@
+// Hierarchical resource-graph model of a heterogeneous machine.
+//
+// Flux models "the resources managed by Flux" as a graph over nodes, GPUs,
+// CPU cores, sockets and hardware threads (paper Sec. 5.2); MuMMI's 4000-node
+// run stressed the matcher with "hundreds of thousands of resources".
+// ResourceGraph reproduces that shape: cluster -> node -> socket -> core,
+// with GPUs attached to nodes, and per-vertex allocated/drained state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mummi::sched {
+
+/// Machine shape. Defaults model a Summit node: 2 sockets x 22 cores, 6 GPUs.
+struct ClusterSpec {
+  int nodes = 1;
+  int sockets_per_node = 2;
+  int cores_per_socket = 22;
+  int gpus_per_node = 6;
+
+  [[nodiscard]] int cores_per_node() const {
+    return sockets_per_node * cores_per_socket;
+  }
+
+  /// Summit partition of the given size (paper Sec. 5).
+  static ClusterSpec summit(int nodes) { return {nodes, 2, 22, 6}; }
+  /// Sierra partition (SC'19 MuMMI): 2 x 22 cores, 4 GPUs.
+  static ClusterSpec sierra(int nodes) { return {nodes, 2, 22, 4}; }
+  /// A laptop-scale machine for examples/tests.
+  static ClusterSpec laptop() { return {1, 1, 8, 2}; }
+};
+
+/// What one job slot needs, colocated within a single node — the paper's
+/// simulation jobs are "one GPU ... bound to two CPU cores", analyses get
+/// "a small number of CPU cores closest to the PCIe bus", setup jobs get
+/// "24 cores within a node".
+struct Slot {
+  int cores = 1;
+  int gpus = 0;
+};
+
+/// One node's share of an allocation.
+struct NodeAlloc {
+  int node = -1;
+  std::vector<int> cores;  // core indices within the node
+  std::vector<int> gpus;   // gpu indices within the node
+};
+
+/// A satisfied request: one NodeAlloc per slot (slots never span nodes).
+struct Allocation {
+  std::vector<NodeAlloc> slots;
+  [[nodiscard]] bool empty() const { return slots.empty(); }
+};
+
+/// Per-node occupancy bookkeeping plus a flat vertex count for matcher cost
+/// accounting (a vertex visit = inspecting one core/GPU/socket/node).
+class ResourceGraph {
+ public:
+  explicit ResourceGraph(ClusterSpec spec);
+
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+  [[nodiscard]] int n_nodes() const { return spec_.nodes; }
+  /// Total graph vertices: cluster + nodes + sockets + cores + gpus.
+  [[nodiscard]] std::size_t n_vertices() const;
+
+  [[nodiscard]] bool core_free(int node, int core) const;
+  [[nodiscard]] bool gpu_free(int node, int gpu) const;
+  [[nodiscard]] int free_cores(int node) const;
+  [[nodiscard]] int free_gpus(int node) const;
+  [[nodiscard]] int total_free_cores() const;
+  [[nodiscard]] int total_free_gpus() const;
+
+  [[nodiscard]] bool drained(int node) const { return nodes_[node].drained; }
+  /// Drains a node: running work keeps its resources, nothing new lands
+  /// there (Flux's failure-resilience behaviour, paper Sec. 4.4).
+  void drain(int node);
+  void undrain(int node);
+
+  /// Elastic growth (the paper's Sec. 6 outlook: "elastic resource
+  /// availability ... should be considered broadly as an emerging need"):
+  /// appends `extra` identical free nodes; matchers see them immediately.
+  void expand(int extra_nodes);
+  /// Elastic shrink: removes the highest-indexed node if it is completely
+  /// idle; returns whether a node was removed.
+  bool shrink();
+
+  /// Claims the resources in an allocation. Throws if any are busy.
+  void allocate(const Allocation& alloc);
+  /// Returns an allocation's resources to the free pool.
+  void release(const Allocation& alloc);
+
+  [[nodiscard]] int used_cores() const { return used_cores_; }
+  [[nodiscard]] int used_gpus() const { return used_gpus_; }
+
+ private:
+  friend class ExhaustiveMatcher;
+  friend class FirstMatchMatcher;
+
+  struct Node {
+    std::vector<bool> core_used;
+    std::vector<bool> gpu_used;
+    int free_cores = 0;
+    int free_gpus = 0;
+    bool drained = false;
+  };
+
+  ClusterSpec spec_;
+  std::vector<Node> nodes_;
+  int used_cores_ = 0;
+  int used_gpus_ = 0;
+};
+
+}  // namespace mummi::sched

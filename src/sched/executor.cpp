@@ -1,0 +1,58 @@
+#include "sched/executor.hpp"
+
+#include "util/error.hpp"
+
+namespace mummi::sched {
+
+void PayloadRegistry::register_type(const std::string& type, PayloadFn fn) {
+  payloads_[type] = std::move(fn);
+}
+
+const PayloadRegistry::PayloadFn& PayloadRegistry::payload_for(
+    const std::string& type) const {
+  auto it = payloads_.find(type);
+  MUMMI_CHECK_MSG(it != payloads_.end(), "no payload for job type: " + type);
+  return it->second;
+}
+
+bool PayloadRegistry::has(const std::string& type) const {
+  return payloads_.count(type) > 0;
+}
+
+void InlineExecutor::launch(const Job& job, CompletionFn done) {
+  bool ok = false;
+  try {
+    ok = registry_.payload_for(job.spec.type)(job);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  done(ok);
+}
+
+void ThreadExecutor::launch(const Job& job, CompletionFn done) {
+  const auto& payload = registry_.payload_for(job.spec.type);
+  // Copy what the worker needs; `job` may not outlive the scheduler call.
+  pool_.submit([payload, job, done = std::move(done)] {
+    bool ok = false;
+    try {
+      ok = payload(job);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    done(ok);
+  });
+}
+
+SimExecutor::SimExecutor(event::SimEngine& engine, util::Rng rng,
+                         double failure_prob)
+    : engine_(engine), rng_(rng), failure_prob_(failure_prob) {}
+
+void SimExecutor::launch(const Job& job, CompletionFn done) {
+  const double duration = model_ ? model_(job) : job.spec.est_duration;
+  MUMMI_CHECK_MSG(duration >= 0.0, "negative job duration");
+  const bool ok = rng_.uniform() >= failure_prob_;
+  engine_.schedule_after(duration,
+                         [done = std::move(done), ok] { done(ok); });
+}
+
+}  // namespace mummi::sched

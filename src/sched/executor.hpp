@@ -1,0 +1,96 @@
+// Job payload execution backends.
+//
+// The scheduler decides *where and when* a job runs; an Executor decides
+// *how*. Three backends cover the library's modes:
+//   - ThreadExecutor: really runs registered payload functions on a thread
+//     pool (examples and integration tests run mini MD this way);
+//   - SimExecutor: discrete-event completion after a modeled duration (the
+//     campaign simulator);
+//   - InlineExecutor: synchronous execution (unit tests).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "event/sim_engine.hpp"
+#include "sched/job.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mummi::sched {
+
+/// Called exactly once when a launched payload finishes; the argument is
+/// success/failure.
+using CompletionFn = std::function<void(bool)>;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Begins executing `job`'s payload. `done` must eventually be invoked.
+  virtual void launch(const Job& job, CompletionFn done) = 0;
+};
+
+/// Payload registry: maps job types to functions returning success.
+class PayloadRegistry {
+ public:
+  using PayloadFn = std::function<bool(const Job&)>;
+
+  void register_type(const std::string& type, PayloadFn fn);
+  [[nodiscard]] const PayloadFn& payload_for(const std::string& type) const;
+  [[nodiscard]] bool has(const std::string& type) const;
+
+ private:
+  std::unordered_map<std::string, PayloadFn> payloads_;
+};
+
+/// Runs payloads synchronously in launch() — deterministic unit testing.
+class InlineExecutor final : public Executor {
+ public:
+  explicit InlineExecutor(PayloadRegistry registry)
+      : registry_(std::move(registry)) {}
+  void launch(const Job& job, CompletionFn done) override;
+
+ private:
+  PayloadRegistry registry_;
+};
+
+/// Runs payloads on a thread pool; completion fires from the worker thread.
+/// Callers must make their completion handling thread-safe.
+class ThreadExecutor final : public Executor {
+ public:
+  ThreadExecutor(util::ThreadPool& pool, PayloadRegistry registry)
+      : pool_(pool), registry_(std::move(registry)) {}
+  void launch(const Job& job, CompletionFn done) override;
+
+ private:
+  util::ThreadPool& pool_;
+  PayloadRegistry registry_;
+};
+
+/// Completes jobs in virtual time. Duration comes from the job's
+/// est_duration unless a DurationModel overrides it; a failure probability
+/// models flaky hardware/software for resilience experiments.
+class SimExecutor final : public Executor {
+ public:
+  /// Returns the duration (seconds) a job should take.
+  using DurationModel = std::function<double(const Job&)>;
+
+  SimExecutor(event::SimEngine& engine, util::Rng rng,
+              double failure_prob = 0.0);
+
+  void set_duration_model(DurationModel model) { model_ = std::move(model); }
+  void set_failure_prob(double p) { failure_prob_ = p; }
+
+  void launch(const Job& job, CompletionFn done) override;
+
+ private:
+  event::SimEngine& engine_;
+  util::Rng rng_;
+  double failure_prob_;
+  DurationModel model_;
+};
+
+}  // namespace mummi::sched

@@ -1,0 +1,76 @@
+#include "sched/queue_manager.hpp"
+
+namespace mummi::sched {
+
+QueueManager::QueueManager(event::SimEngine& engine, Scheduler& scheduler,
+                           QueueConfig config)
+    : engine_(engine), scheduler_(scheduler), config_(config) {}
+
+double QueueManager::match_cost(const Scheduler::PumpResult& r) const {
+  return config_.match_overhead +
+         config_.per_visit * static_cast<double>(r.visits);
+}
+
+void QueueManager::submit(JobSpec spec) {
+  submit_queue_.push_back(std::move(spec));
+  service();
+}
+
+void QueueManager::kick() {
+  match_blocked_ = false;
+  if (config_.async_match)
+    service_matcher();
+  else
+    service();
+}
+
+void QueueManager::service() {
+  if (server_busy_) return;
+
+  // Submissions first — in sync mode they starve match work, which is the
+  // pathology the paper observed at 4000 nodes.
+  if (!submit_queue_.empty()) {
+    server_busy_ = true;
+    JobSpec spec = std::move(submit_queue_.front());
+    submit_queue_.pop_front();
+    q_busy_ += config_.t_submit;
+    engine_.schedule_after(config_.t_submit, [this, spec = std::move(spec)]() mutable {
+      server_busy_ = false;
+      scheduler_.submit(std::move(spec));
+      if (config_.async_match) service_matcher();
+      service();
+    });
+    return;
+  }
+
+  if (config_.async_match) return;  // matching handled by R's own server
+
+  if (match_blocked_ || scheduler_.pending_count() == 0) return;
+  const auto result = scheduler_.pump_one();
+  if (!result.attempted) return;
+  if (result.started == kInvalidJob) match_blocked_ = true;  // head does not fit
+  server_busy_ = true;
+  const double cost = match_cost(result);
+  r_busy_ += cost;
+  engine_.schedule_after(cost, [this] {
+    server_busy_ = false;
+    service();
+  });
+}
+
+void QueueManager::service_matcher() {
+  if (!config_.async_match || matcher_busy_) return;
+  if (match_blocked_ || scheduler_.pending_count() == 0) return;
+  const auto result = scheduler_.pump_one();
+  if (!result.attempted) return;
+  if (result.started == kInvalidJob) match_blocked_ = true;
+  matcher_busy_ = true;
+  const double cost = match_cost(result);
+  r_busy_ += cost;
+  engine_.schedule_after(cost, [this] {
+    matcher_busy_ = false;
+    service_matcher();
+  });
+}
+
+}  // namespace mummi::sched

@@ -1,0 +1,25 @@
+#include "util/bytes.hpp"
+
+namespace mummi::util {
+
+Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const std::string& s) { return fnv1a(s.data(), s.size()); }
+
+}  // namespace mummi::util

@@ -1,0 +1,126 @@
+#include "util/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace fs = std::filesystem;
+
+namespace mummi::util {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4d754d4d49434b50ULL;  // "MuMMICKP"
+
+Bytes frame(const Bytes& payload) {
+  ByteWriter w;
+  w.u64(kMagic);
+  w.u64(payload.size());
+  w.u64(fnv1a(payload.data(), payload.size()));
+  w.raw(payload.data(), payload.size());
+  return std::move(w).take();
+}
+
+std::optional<Bytes> unframe(const Bytes& raw) {
+  try {
+    ByteReader r(raw);
+    if (r.u64() != kMagic) return std::nullopt;
+    const auto size = r.u64();
+    const auto checksum = r.u64();
+    if (size > r.remaining()) return std::nullopt;
+    Bytes payload(size);
+    r.raw(payload.data(), size);
+    if (fnv1a(payload.data(), payload.size()) != checksum) return std::nullopt;
+    return payload;
+  } catch (const FormatError&) {
+    return std::nullopt;
+  }
+}
+}  // namespace
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  Bytes data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return std::nullopt;
+  return data;
+}
+
+void write_file(const std::string& path, const Bytes& data, int max_retries) {
+  for (int attempt = 0;; ++attempt) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+      out.flush();
+      if (out) return;
+    }
+    if (attempt >= max_retries)
+      throw IoError("write failed after retries: " + path);
+    log_warn("write retry ", attempt + 1, " for ", path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+  }
+}
+
+void make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw IoError("mkdir failed: " + path + ": " + ec.message());
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  return fs::remove(path, ec);
+}
+
+CheckpointFile::CheckpointFile(std::string path, int max_retries)
+    : path_(std::move(path)), max_retries_(max_retries) {}
+
+void CheckpointFile::save(const Bytes& payload) const {
+  const Bytes framed = frame(payload);
+  const std::string tmp = path_ + ".tmp";
+  write_file(tmp, framed, max_retries_);
+  std::error_code ec;
+  // Rotate the old checkpoint to .bak before the atomic replace.
+  if (fs::exists(path_)) {
+    fs::rename(path_, path_ + ".bak", ec);
+    if (ec) log_warn("checkpoint backup rotation failed: ", ec.message());
+  }
+  fs::rename(tmp, path_, ec);
+  if (ec) throw IoError("checkpoint rename failed: " + path_ + ": " + ec.message());
+}
+
+std::optional<Bytes> CheckpointFile::load_one(const std::string& p) const {
+  auto raw = read_file(p);
+  if (!raw) return std::nullopt;
+  return unframe(*raw);
+}
+
+std::optional<Bytes> CheckpointFile::load() const {
+  if (auto primary = load_one(path_)) return primary;
+  if (auto backup = load_one(path_ + ".bak")) {
+    log_warn("checkpoint primary invalid, restored from backup: ", path_);
+    return backup;
+  }
+  return std::nullopt;
+}
+
+bool CheckpointFile::exists() const {
+  return fs::exists(path_) || fs::exists(path_ + ".bak");
+}
+
+void CheckpointFile::remove() const {
+  remove_file(path_);
+  remove_file(path_ + ".bak");
+  remove_file(path_ + ".tmp");
+}
+
+}  // namespace mummi::util

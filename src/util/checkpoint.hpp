@@ -1,0 +1,63 @@
+// Armored checkpoint I/O.
+//
+// Paper Sec. 4.2/4.4: "I/O armoring and redundancy is used to guard against
+// filesystem failures, e.g., backups of checkpoint files and retrials if
+// reading/writing fails", and components "can be restored completely after
+// any such crash". CheckpointFile provides:
+//   - atomic replace (write temp, fsync, rename),
+//   - a rotating .bak of the previous good checkpoint,
+//   - bounded retries on transient failures,
+//   - content checksum so a torn write is detected on load and the backup is
+//     used instead.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace mummi::util {
+
+class CheckpointFile {
+ public:
+  /// `path` is the primary checkpoint location; "<path>.bak" holds the
+  /// previous good version.
+  explicit CheckpointFile(std::string path, int max_retries = 3);
+
+  /// Atomically replaces the checkpoint with `payload`.
+  /// Keeps the previous version as backup. Throws IoError after retries.
+  void save(const Bytes& payload) const;
+
+  /// Loads the newest valid checkpoint: primary first, backup on checksum or
+  /// read failure. Returns nullopt when neither exists.
+  [[nodiscard]] std::optional<Bytes> load() const;
+
+  /// True if a primary or backup checkpoint exists.
+  [[nodiscard]] bool exists() const;
+
+  /// Removes primary and backup (for tests and controlled resets).
+  void remove() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  [[nodiscard]] std::optional<Bytes> load_one(const std::string& p) const;
+
+  std::string path_;
+  int max_retries_;
+};
+
+/// Reads a whole file into bytes; nullopt if it does not exist.
+[[nodiscard]] std::optional<Bytes> read_file(const std::string& path);
+
+/// Writes bytes to a file (truncating); retries transient failures.
+void write_file(const std::string& path, const Bytes& data, int max_retries = 3);
+
+/// Creates a directory and parents, like `mkdir -p`.
+void make_dirs(const std::string& path);
+
+/// Removes a file if present; returns whether it existed.
+bool remove_file(const std::string& path);
+
+}  // namespace mummi::util

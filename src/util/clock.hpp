@@ -1,0 +1,59 @@
+// Time source abstraction.
+//
+// The workflow manager, scheduler and feedback managers are written against
+// Clock so the same code runs in real time (examples, live runs) or in the
+// discrete-event campaign simulator (benches reproducing Summit-scale
+// figures). Times are seconds since an arbitrary epoch.
+#pragma once
+
+#include <chrono>
+
+namespace mummi::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Wall-clock time from std::chrono::steady_clock.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now() const override {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Manually advanced time — the discrete-event engine owns one of these.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override { return t_; }
+  void set(double t) { t_ = t; }
+  void advance(double dt) { t_ += dt; }
+
+ private:
+  double t_ = 0.0;
+};
+
+/// Scoped stopwatch for profiling real code paths.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  /// Elapsed seconds since construction or last reset.
+  [[nodiscard]] double elapsed() const {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mummi::util

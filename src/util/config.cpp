@@ -1,0 +1,153 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace mummi::util {
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::string section;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string s = trim(line);
+    if (s.empty() || s[0] == '#' || s[0] == ';') continue;
+    if (s.front() == '[') {
+      if (s.back() != ']')
+        throw ConfigError(format("unterminated section header at line %d", lineno));
+      section = trim(s.substr(1, s.size() - 2));
+      continue;
+    }
+    const auto eq = s.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError(format("expected key=value at line %d", lineno));
+    const std::string key = trim(s.substr(0, eq));
+    const std::string value = trim(s.substr(eq + 1));
+    if (key.empty())
+      throw ConfigError(format("empty key at line %d", lineno));
+    cfg.values_[section.empty() ? key : section + "." + key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(const std::string& path, const std::string& value) {
+  values_[path] = value;
+}
+
+bool Config::has(const std::string& path) const {
+  return values_.count(path) > 0;
+}
+
+std::optional<std::string> Config::find(const std::string& path) const {
+  auto it = values_.find(path);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& path) const {
+  auto v = find(path);
+  if (!v) throw ConfigError("missing config key: " + path);
+  return *v;
+}
+
+std::string Config::get_string(const std::string& path,
+                               const std::string& fallback) const {
+  return find(path).value_or(fallback);
+}
+
+namespace {
+long parse_int(const std::string& path, const std::string& raw) {
+  char* end = nullptr;
+  const long v = std::strtol(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0')
+    throw ConfigError("config key " + path + " is not an integer: " + raw);
+  return v;
+}
+
+double parse_double(const std::string& path, const std::string& raw) {
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0')
+    throw ConfigError("config key " + path + " is not a number: " + raw);
+  return v;
+}
+
+bool parse_bool(const std::string& path, const std::string& raw) {
+  if (raw == "true" || raw == "yes" || raw == "on" || raw == "1") return true;
+  if (raw == "false" || raw == "no" || raw == "off" || raw == "0") return false;
+  throw ConfigError("config key " + path + " is not a boolean: " + raw);
+}
+}  // namespace
+
+long Config::get_int(const std::string& path) const {
+  return parse_int(path, get_string(path));
+}
+
+long Config::get_int(const std::string& path, long fallback) const {
+  auto v = find(path);
+  return v ? parse_int(path, *v) : fallback;
+}
+
+double Config::get_double(const std::string& path) const {
+  return parse_double(path, get_string(path));
+}
+
+double Config::get_double(const std::string& path, double fallback) const {
+  auto v = find(path);
+  return v ? parse_double(path, *v) : fallback;
+}
+
+bool Config::get_bool(const std::string& path) const {
+  return parse_bool(path, get_string(path));
+}
+
+bool Config::get_bool(const std::string& path, bool fallback) const {
+  auto v = find(path);
+  return v ? parse_bool(path, *v) : fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::to_string() const {
+  // Group by section to emit valid INI.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>> by_section;
+  for (const auto& [path, value] : values_) {
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos)
+      by_section[""].emplace_back(path, value);
+    else
+      by_section[path.substr(0, dot)].emplace_back(path.substr(dot + 1), value);
+  }
+  std::ostringstream out;
+  for (const auto& [section, kvs] : by_section) {
+    if (!section.empty()) out << "[" << section << "]\n";
+    for (const auto& [k, v] : kvs) out << k << " = " << v << "\n";
+  }
+  return out.str();
+}
+
+void Config::merge_from(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+}  // namespace mummi::util

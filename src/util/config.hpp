@@ -1,0 +1,63 @@
+// Hierarchical key-value configuration.
+//
+// MuMMI's job trackers, data interfaces and feedback managers are customized
+// "using a combination of inherited classes and configuration files"
+// (paper Sec. 4.3). Config is that file format: INI-style sections with typed
+// accessors, defaults, and dotted-path lookup ("section.key").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mummi::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses INI-style text: `[section]` headers, `key = value` pairs,
+  /// `#`/`;` comments. Keys before any header land in the "" section.
+  static Config parse(const std::string& text);
+
+  /// Loads and parses a file. Throws IoError / ConfigError.
+  static Config load(const std::string& path);
+
+  /// Sets a value, overwriting any existing one. Path is "section.key" or
+  /// just "key" for the root section.
+  void set(const std::string& path, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& path) const;
+
+  /// Typed getters. The non-defaulted forms throw ConfigError when the key
+  /// is missing or malformed; the defaulted forms return the fallback only
+  /// when the key is missing (a malformed value still throws).
+  [[nodiscard]] std::string get_string(const std::string& path) const;
+  [[nodiscard]] std::string get_string(const std::string& path,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& path) const;
+  [[nodiscard]] long get_int(const std::string& path, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& path) const;
+  [[nodiscard]] double get_double(const std::string& path,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& path) const;
+  [[nodiscard]] bool get_bool(const std::string& path, bool fallback) const;
+
+  /// All keys (dotted paths) in deterministic (sorted) order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Serializes back to INI text (round-trips through parse()).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Overlays another config on top of this one (other wins on conflicts) —
+  /// how application configs extend the coordination defaults.
+  void merge_from(const Config& other);
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& path) const;
+
+  std::map<std::string, std::string> values_;  // dotted path -> raw string
+};
+
+}  // namespace mummi::util

@@ -1,0 +1,60 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mummi::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), counts_(nbins, 0.0) {
+  MUMMI_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  MUMMI_CHECK_MSG(nbins > 0, "histogram needs at least one bin");
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto raw = static_cast<long>(std::floor(t * static_cast<double>(counts_.size())));
+  const long clamped = std::clamp(raw, 0L, static_cast<long>(counts_.size()) - 1);
+  return static_cast<std::size_t>(clamped);
+}
+
+void Histogram::add(double x, double weight) {
+  counts_[bin_of(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::center(std::size_t bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+double Histogram::fraction_at_least(double x) const {
+  if (total_ <= 0.0) return 0.0;
+  const std::size_t start = bin_of(x);
+  double mass = 0.0;
+  for (std::size_t b = start; b < counts_.size(); ++b) mass += counts_[b];
+  return mass / total_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        peak > 0.0 ? static_cast<std::size_t>(counts_[b] / peak *
+                                              static_cast<double>(width))
+                   : 0;
+    std::snprintf(line, sizeof line, "%12.4g | %-*s %.4g\n", center(b),
+                  static_cast<int>(width),
+                  std::string(bar, '#').c_str(), counts_[b]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mummi::util

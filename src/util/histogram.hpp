@@ -1,0 +1,40 @@
+// Fixed-bin histogram used by profilers and figure-reproduction benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mummi::util {
+
+/// Uniform-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so campaign profiles never silently drop events.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t nbins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t nbins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] double total() const { return total_; }
+  /// Center of the given bin.
+  [[nodiscard]] double center(std::size_t bin) const;
+  /// Fraction of total mass at or above the given value.
+  [[nodiscard]] double fraction_at_least(double x) const;
+  /// Bin index a value falls into (after clamping).
+  [[nodiscard]] std::size_t bin_of(double x) const;
+
+  /// Renders a fixed-width ASCII bar chart, one bin per line — the benches
+  /// print these next to the paper's figures.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace mummi::util

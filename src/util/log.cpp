@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mummi::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo:  return "[info ] ";
+    case LogLevel::kWarn:  return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    default:               return "";
+  }
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_mutex);
+  std::fputs(prefix(level), stderr);
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace mummi::util

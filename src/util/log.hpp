@@ -1,0 +1,59 @@
+// Minimal thread-safe leveled logger.
+//
+// The workflow manager coordinates tens of thousands of jobs; logging must be
+// cheap when disabled and never interleave lines when enabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mummi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger configuration. All methods are thread-safe.
+class Log {
+ public:
+  /// Sets the minimum level that will be emitted (default: kWarn, so tests
+  /// and benches stay quiet unless asked).
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one line atomically to stderr with a level prefix.
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (Log::level() <= LogLevel::kDebug)
+    Log::write(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (Log::level() <= LogLevel::kInfo)
+    Log::write(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (Log::level() <= LogLevel::kWarn)
+    Log::write(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (Log::level() <= LogLevel::kError)
+    Log::write(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace mummi::util

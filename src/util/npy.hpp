@@ -1,0 +1,45 @@
+// Minimal NumPy .npy (version 1.0) serialization.
+//
+// The paper stores patches "in a standard Numpy format ... simple and
+// portable I/O" (Task 1). NpyArray writes/reads real .npy byte streams for
+// little-endian f4/f8/i8 arrays of arbitrary rank, so artifacts produced by
+// this library load directly in numpy.load and vice versa.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mummi::util {
+
+enum class NpyType { kF32, kF64, kI64 };
+
+/// An n-dimensional array with C-order data, convertible to/from .npy bytes.
+struct NpyArray {
+  NpyType dtype = NpyType::kF32;
+  std::vector<std::size_t> shape;
+  // Exactly one of these holds the data, matching dtype.
+  std::vector<float> f32;
+  std::vector<double> f64;
+  std::vector<std::int64_t> i64;
+
+  [[nodiscard]] std::size_t element_count() const;
+
+  static NpyArray from_f32(std::vector<std::size_t> shape,
+                           std::vector<float> data);
+  static NpyArray from_f64(std::vector<std::size_t> shape,
+                           std::vector<double> data);
+  static NpyArray from_i64(std::vector<std::size_t> shape,
+                           std::vector<std::int64_t> data);
+};
+
+/// Encodes to .npy (magic, header dict, raw data).
+[[nodiscard]] Bytes npy_encode(const NpyArray& array);
+
+/// Decodes .npy bytes. Throws FormatError on malformed input or unsupported
+/// dtypes (only little-endian f4/f8/i8 are supported).
+[[nodiscard]] NpyArray npy_decode(const Bytes& bytes);
+
+}  // namespace mummi::util

@@ -1,0 +1,60 @@
+// Token-bucket rate limiter.
+//
+// Paper Sec. 3/5.2: the original MuMMI "explicitly throttle[d] the rate of
+// certain I/O operations" and "specifically throttled the rate of submission
+// to prevent overloading the job scheduler" (~100 jobs/min). RateLimiter is
+// that throttle: deterministic, clock-driven, usable in both wall and
+// virtual time.
+#pragma once
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mummi::util {
+
+class RateLimiter {
+ public:
+  /// Allows `rate` operations per second on average, with bursts of at most
+  /// `burst` (defaults to one second's worth).
+  explicit RateLimiter(double rate, double burst = -1.0)
+      : rate_(rate), burst_(burst < 0 ? rate : burst), tokens_(burst_) {
+    MUMMI_CHECK_MSG(rate > 0 && burst_ > 0, "invalid rate limiter config");
+  }
+
+  /// Attempts to take `n` tokens at time `now` (seconds, monotonic).
+  /// Returns whether the operation is admitted.
+  bool try_acquire(double now, double n = 1.0) {
+    refill(now);
+    if (tokens_ + 1e-12 < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+  /// Tokens currently available at time `now`.
+  [[nodiscard]] double available(double now) {
+    refill(now);
+    return tokens_;
+  }
+
+  /// Earliest time at which `n` tokens will be available (>= now).
+  [[nodiscard]] double next_admission(double now, double n = 1.0) {
+    refill(now);
+    if (tokens_ >= n) return now;
+    return now + (n - tokens_) / rate_;
+  }
+
+ private:
+  void refill(double now) {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+};
+
+}  // namespace mummi::util

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mummi::util {
+
+/// Removes leading/trailing whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// Splits on a delimiter; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Glob-style match supporting '*' and '?' only (the subset Redis KEYS uses).
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Renders a byte count as a human-readable string ("374.0 MB").
+[[nodiscard]] std::string human_bytes(double bytes);
+
+}  // namespace mummi::util

@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mummi::util {
+
+ThreadPool::ThreadPool(std::size_t nthreads) {
+  if (nthreads == 0) nthreads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t nblocks = std::min(workers_.size(), n);
+  if (nblocks <= 1 || n < 64) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(nblocks);
+  const std::size_t chunk = (n + nblocks - 1) / nblocks;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t begin = b * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    futs.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mummi::util

@@ -1,0 +1,69 @@
+// Fixed-size worker pool with task futures and a blocked-range parallel_for.
+//
+// This is the process-pool analogue of the paper's "tailored multiprocessing
+// pools" (Task 4) and also drives the thread-parallel force/field loops in
+// the MD and DDFT engines.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mummi::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `nthreads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t nthreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(begin, end) over [0, n) split into roughly equal blocks, one per
+  /// worker, and waits for completion. Executes inline when the pool has a
+  /// single worker or the range is tiny.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Blocks until every queued and running task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-level singleton pool for library internals (MD forces, DDFT
+/// stencils). Sized once from hardware concurrency.
+ThreadPool& global_pool();
+
+}  // namespace mummi::util

@@ -1,0 +1,420 @@
+#include "wm/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace mummi::wm {
+
+namespace {
+constexpr std::uint64_t kFrameIdBase = 1ULL << 40;  // keep ids disjoint
+
+/// Files written per CG trajectory frame (frame + analysis sidecars);
+/// calibrated so the full campaign lands near the paper's 1.03B files.
+constexpr double kFilesPerCgFrame = 5.0;
+}  // namespace
+
+Campaign::Campaign(CampaignConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  next_frame_id_ = kFrameIdBase;
+}
+
+Campaign::LogicalSim& Campaign::logical_sim(std::uint64_t payload, bool is_aa,
+                                            bool degraded) {
+  auto it = sims_.find(payload);
+  if (it != sims_.end()) return it->second;
+  LogicalSim ls;
+  ls.is_aa = is_aa;
+  if (is_aa) {
+    const auto sample = config_.perf.sample_aa(rng_);
+    ls.rate_per_s = sample.ns_per_second();
+    ls.size = sample.atoms;
+    ls.target = rng_.uniform(config_.aa_min_ns, config_.aa_max_ns);
+  } else {
+    const auto sample = config_.perf.sample_cg(rng_, degraded);
+    ls.rate_per_s = sample.us_per_second();
+    ls.size = sample.particles;
+    ls.target = std::min(
+        config_.cg_max_us,
+        config_.cg_min_us +
+            rng_.exponential(1.0 / (config_.cg_mean_us - config_.cg_min_us)));
+  }
+  return sims_.emplace(payload, ls).first->second;
+}
+
+void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
+                       WorkflowManager::CarryOver& carry,
+                       double& campaign_hours_done,
+                       double campaign_hours_total) {
+  const double walltime_s = walltime_h * 3600.0;
+  const double t_offset = campaign_hours_done * 3600.0;
+
+  event::SimEngine engine;
+  sched::Scheduler scheduler(sched::ClusterSpec::summit(nodes),
+                             config_.match_policy, engine.clock());
+  sched::QueueManager queue(engine, scheduler, config_.queue);
+  QueuedBackend maestro(scheduler, queue);
+
+  // Job trackers for the four application job types + the continuum.
+  TrackerSet trackers;
+  auto add_tracker = [&](const std::string& type, int cores, int gpus,
+                         double mean_s) {
+    JobTypeConfig cfg;
+    cfg.type = type;
+    cfg.request.slot = sched::Slot{cores, gpus};
+    cfg.mean_duration = mean_s;
+    trackers.add(std::make_unique<JobTracker>(cfg));
+  };
+  add_tracker("cg_setup", 24, 0, config_.perf.createsim_mean_s);
+  add_tracker("cg_sim", 3, 1, 86400);
+  add_tracker("aa_setup", 18, 0, config_.perf.backmap_mean_s);
+  add_tracker("aa_sim", 3, 1, 86400);
+
+  const int continuum_nodes =
+      std::max(1, std::min(config_.continuum_nodes_max, nodes / 4));
+  const int continuum_cores =
+      continuum_nodes * config_.continuum_cores_per_node;
+
+  // --- per-run state -------------------------------------------------------
+  bool continuum_running = false;
+  const bool degraded =
+      campaign_hours_done / campaign_hours_total <
+      config_.degraded_until_fraction;
+
+  // Selectors persist across the campaign.
+  static_assert(cont::kNumProteinStates == 4, "queue routing assumes 4 states");
+
+  // Campaign-level accounting must see completions *before* the WM resubmits
+  // failed jobs (so remaining-duration models read fresh progress), hence it
+  // registers first.
+  auto finish_sim = [&](std::uint64_t payload, const LogicalSim& ls) {
+    if (ls.is_aa) {
+      result.aa_lengths_ns.push_back(ls.progress);
+      result.aa_perf.emplace_back(ls.size, ls.rate_per_s * 86400.0);
+      result.aa_total_ns += ls.progress;
+    } else {
+      result.cg_lengths_us.push_back(ls.progress);
+      result.cg_perf.emplace_back(ls.size, ls.rate_per_s * 86400.0);
+      result.cg_total_us += ls.progress;
+    }
+    (void)payload;
+  };
+
+  scheduler.on_finish([&](const sched::Job& job) {
+    const auto& type = job.spec.type;
+    if (type != "cg_sim" && type != "aa_sim") return;
+    auto it = sims_.find(job.spec.payload);
+    if (it == sims_.end()) return;
+    LogicalSim& ls = it->second;
+    if (job.state == sched::JobState::kCompleted) {
+      ls.progress = ls.target;
+      finish_sim(job.spec.payload, ls);
+      sims_.erase(it);
+    } else if (job.state == sched::JobState::kFailed) {
+      // Crash partway: progress up to the failure point survives via the
+      // 15-minute checkpoints; the WM resubmits (registered after us).
+      const double elapsed = std::max(0.0, engine.now() - job.start_time);
+      ls.progress = std::min(ls.target * 0.999,
+                             ls.progress + ls.rate_per_s * elapsed *
+                                               rng_.uniform());
+    }
+  });
+
+  WorkflowManager wm(config_.wm, maestro, trackers, *patch_selector_,
+                     *frame_selector_);
+  wm.restore_carry_over(carry);
+  wm.on_sim_finished([&](const sched::Job& job) {
+    // Terminal failures (restarts exhausted): record the partial length.
+    if (job.state != sched::JobState::kFailed) return;
+    auto it = sims_.find(job.spec.payload);
+    if (it == sims_.end()) return;
+    finish_sim(job.spec.payload, it->second);
+    sims_.erase(it);
+  });
+
+  // Executor: virtual-time job durations.
+  sched::SimExecutor executor(engine, rng_.split(), config_.sim_failure_prob);
+  executor.set_duration_model([&](const sched::Job& job) -> double {
+    const auto& type = job.spec.type;
+    if (type == "continuum") return 2.0 * walltime_s;  // cut at teardown
+    if (type == "cg_setup")
+      return config_.perf.sample_createsim_seconds(rng_);
+    if (type == "aa_setup") return config_.perf.sample_backmap_seconds(rng_);
+    if (type == "cg_sim" || type == "aa_sim") {
+      LogicalSim& ls =
+          logical_sim(job.spec.payload, type == "aa_sim", degraded);
+      return std::max(1.0, (ls.target - ls.progress) / ls.rate_per_s);
+    }
+    return job.spec.est_duration;
+  });
+  scheduler.on_start([&](const sched::Job& job) {
+    if (job.spec.type == "continuum") continuum_running = true;
+    const sched::JobId id = job.id;
+    executor.launch(job, [&, id](bool ok) {
+      scheduler.complete(id, ok);
+      maestro.poll();
+    });
+  });
+
+  // The continuum job loads first.
+  {
+    sched::JobSpec cont_spec;
+    cont_spec.name = "gridsim2d";
+    cont_spec.type = "continuum";
+    cont_spec.request.slot = sched::Slot{config_.continuum_cores_per_node, 0};
+    cont_spec.request.nslots = continuum_nodes;
+    cont_spec.request.one_slot_per_node = true;
+    cont_spec.est_duration = 2.0 * walltime_s;
+    maestro.submit(std::move(cont_spec));
+  }
+
+  // --- recurring coordination events --------------------------------------
+  std::function<void()> snapshot_tick = [&] {
+    if (continuum_running) {
+      ++result.snapshots;
+      result.continuum_total_us += 1.0;  // 1 us of model time per snapshot
+      result.continuum_ms_per_day.push_back(
+          config_.perf.continuum_ms_per_day(continuum_cores) *
+          (1.0 + 0.03 * rng_.normal()));
+      result.ledger.bytes_continuum += config_.rates.continuum_snapshot_bytes;
+      result.ledger.files_total += 1;
+
+      // Task 1: the Patch Creator cuts one patch per protein.
+      std::vector<std::vector<ml::HDPoint>> by_queue(
+          static_cast<std::size_t>(patch_selector_->n_queues()));
+      for (int p = 0; p < config_.proteins_per_snapshot; ++p) {
+        ml::HDPoint point;
+        point.id = next_patch_id_++;
+        point.coords.resize(9);
+        // Synthetic metric-space embedding: smooth drift + noise, so novelty
+        // structure exists for FPS to exploit.
+        for (int d = 0; d < 9; ++d)
+          point.coords[static_cast<std::size_t>(d)] = static_cast<float>(
+              std::sin(0.01 * static_cast<double>(point.id) + d) +
+              0.3 * rng_.normal());
+        const auto state = rng_.uniform_index(cont::kNumProteinStates);
+        const bool multi = rng_.uniform() < 0.2;  // multi-protein patches
+        const std::size_t queue = multi ? 4 : state;
+        by_queue[queue].push_back(std::move(point));
+      }
+      std::size_t created = 0;
+      for (int q = 0; q < patch_selector_->n_queues(); ++q) {
+        created += by_queue[static_cast<std::size_t>(q)].size();
+        if (!by_queue[static_cast<std::size_t>(q)].empty())
+          wm.ingest_patches(q, by_queue[static_cast<std::size_t>(q)]);
+      }
+      result.patches_created += created;
+      result.ledger.bytes_patches +=
+          static_cast<double>(created) * config_.rates.patch_bytes;
+      result.ledger.files_total += created;
+    }
+    engine.schedule_after(config_.snapshot_interval_s, snapshot_tick);
+  };
+  engine.schedule_after(config_.snapshot_interval_s, snapshot_tick);
+
+  std::function<void()> maintain_tick = [&] {
+    // Task 2 ingestion from the distributed CG analyses: candidate frames at
+    // the calibrated rate, in proportion to CG progress this interval.
+    const int running_cg = wm.running("cg_sim");
+    if (running_cg > 0 && config_.frame_candidate_scale > 0) {
+      const double progress_us = static_cast<double>(running_cg) *
+                                 (config_.perf.cg_us_per_day / 86400.0) *
+                                 config_.maintain_interval_s;
+      const double mean = progress_us * config_.frame_candidates_per_us *
+                          config_.frame_candidate_scale;
+      const auto n = static_cast<std::size_t>(
+          std::max(0.0, rng_.normal(mean, std::sqrt(std::max(mean, 1.0)))));
+      if (n > 0) {
+        std::vector<ml::HDPoint> frames;
+        frames.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ml::HDPoint point;
+          point.id = next_frame_id_++;
+          const float tilt =
+              static_cast<float>(90.0 * std::sqrt(rng_.uniform()));
+          const float rot = static_cast<float>(rng_.uniform(0.0, 360.0));
+          const float sep =
+              static_cast<float>(std::min(3.0, rng_.exponential(1.0)));
+          point.coords = {tilt, rot, sep};
+          frames.push_back(std::move(point));
+        }
+        result.frame_candidates += n;
+        result.ledger.files_total += n;  // the ~850 B id records
+        wm.ingest_frames(frames);
+      }
+    }
+    wm.maintain(config_.submit_budget_per_maintain);
+    engine.schedule_after(config_.maintain_interval_s, maintain_tick);
+  };
+  engine.schedule_after(config_.maintain_interval_s, maintain_tick);
+
+  std::function<void()> feedback_tick = [&] {
+    const int running_cg = wm.running("cg_sim");
+    const int running_aa = wm.running("aa_sim");
+    // CG->continuum: RDF pushes arrive every ~3-4 min per simulation.
+    if (running_cg > 0) {
+      const double rdf_interval = 200.0;  // s per simulation between pushes
+      const auto frames = static_cast<std::size_t>(
+          running_cg * config_.feedback_interval_s / rdf_interval);
+      fb::IterationStats stats;
+      const auto costs = fb::FeedbackCosts::redis();
+      stats.frames = frames;
+      stats.collect_virtual =
+          static_cast<double>(frames) *
+          (costs.identify_per_key + costs.read_per_record);
+      stats.process_virtual =
+          static_cast<double>(frames) * costs.process_per_frame;
+      stats.tag_virtual = static_cast<double>(frames) * costs.tag_per_record;
+      result.cg2cont_stats.push_back(stats);
+    }
+    // AA->CG: fewer frames, ~2 s each through external calls, pooled.
+    if (running_aa > 0) {
+      const auto frames = static_cast<std::size_t>(
+          running_aa * config_.feedback_interval_s /
+          config_.rates.aa_frame_interval_s);
+      fb::IterationStats stats;
+      const auto costs = fb::FeedbackCosts::redis();
+      stats.frames = frames;
+      stats.collect_virtual =
+          static_cast<double>(frames) *
+          (costs.identify_per_key + costs.read_per_record);
+      stats.process_virtual =
+          60.0 + 2.0 * static_cast<double>(frames) / 6.0;
+      stats.tag_virtual = static_cast<double>(frames) * costs.tag_per_record;
+      result.aa2cg_stats.push_back(stats);
+    }
+    // Data ledger: trajectory frames written during this interval.
+    if (running_cg > 0) {
+      const double cg_frames = running_cg * config_.feedback_interval_s /
+                               config_.rates.cg_frame_interval_s;
+      result.ledger.bytes_cg_frames +=
+          cg_frames * config_.rates.cg_frame_bytes;
+      result.ledger.bytes_cg_analysis +=
+          cg_frames * config_.rates.cg_analysis_bytes;
+      result.ledger.files_total +=
+          static_cast<std::uint64_t>(cg_frames * kFilesPerCgFrame);
+    }
+    if (running_aa > 0) {
+      const double aa_frames = running_aa * config_.feedback_interval_s /
+                               config_.rates.aa_frame_interval_s;
+      result.ledger.bytes_aa_frames +=
+          aa_frames * config_.rates.aa_frame_bytes;
+      result.ledger.files_total += static_cast<std::uint64_t>(aa_frames);
+    }
+    engine.schedule_after(config_.feedback_interval_s, feedback_tick);
+  };
+  engine.schedule_after(config_.feedback_interval_s, feedback_tick);
+
+  std::function<void()> profile_tick = [&] {
+    result.profiler.sample(t_offset + engine.now(), scheduler);
+    engine.schedule_after(config_.profile_interval_s, profile_tick);
+  };
+  engine.schedule_after(config_.profile_interval_s, profile_tick);
+
+  // --- run to walltime ------------------------------------------------------
+  engine.run_until(walltime_s);
+
+  // --- teardown: checkpoint-and-carry --------------------------------------
+  for (const sched::JobId id : scheduler.active_jobs()) {
+    const sched::Job& job = scheduler.job(id);
+    const auto& type = job.spec.type;
+    const bool was_running = job.state == sched::JobState::kRunning;
+    if (type == "cg_sim" || type == "aa_sim") {
+      auto it = sims_.find(job.spec.payload);
+      if (it != sims_.end() && was_running) {
+        LogicalSim& ls = it->second;
+        ls.progress = std::min(
+            ls.target, ls.progress + ls.rate_per_s *
+                                         (walltime_s - job.start_time));
+        if (ls.progress >= ls.target) {
+          finish_sim(job.spec.payload, ls);
+          sims_.erase(it);
+          scheduler.cancel(id);
+          continue;
+        }
+      }
+      // Resumes next allocation from its checkpoint.
+      if (type == "cg_sim")
+        carry_resume_cg_.push_back(job.spec.payload);
+      else
+        carry_resume_aa_.push_back(job.spec.payload);
+    } else if (type == "cg_setup" || type == "aa_setup") {
+      wm.requeue_setup(type, job.spec.payload);
+    }
+    scheduler.cancel(id);
+  }
+
+  carry = wm.carry_over();
+  // Interrupted simulations resume ahead of fresh ones.
+  for (auto it = carry_resume_cg_.rbegin(); it != carry_resume_cg_.rend(); ++it)
+    carry.ready_cg.push_front(*it);
+  for (auto it = carry_resume_aa_.rbegin(); it != carry_resume_aa_.rend(); ++it)
+    carry.ready_aa.push_front(*it);
+  carry_resume_cg_.clear();
+  carry_resume_aa_.clear();
+
+  // Backmap data volumes from completed AA setups this run.
+  const auto aa_setups_after = trackers.tracker("aa_setup").counters();
+  const auto backmaps =
+      static_cast<double>(aa_setups_after.completed);
+  result.ledger.bytes_backmap +=
+      backmaps *
+      (config_.rates.backmap_local_bytes + config_.rates.backmap_gpfs_bytes);
+  result.ledger.files_total += static_cast<std::uint64_t>(backmaps) * 4;
+
+  campaign_hours_done += walltime_h;
+}
+
+CampaignResult Campaign::run() {
+  CampaignResult result;
+  double hours_total = 0;
+  for (const auto& run : config_.runs) hours_total += run.walltime_h * run.count;
+
+  patch_selector_ = std::make_unique<PatchSelector>(9, 5, 35000);
+  frame_selector_ = std::make_unique<FrameSelector>(0.8, rng_());
+  // Campaign-scale candidate volumes: stream history to /dev/null instead of
+  // holding tens of millions of event ids in memory.
+  patch_selector_->set_history_enabled(false);
+  frame_selector_->set_history_enabled(false);
+
+  WorkflowManager::CarryOver carry;
+  double hours_done = 0;
+  for (const auto& run : config_.runs) {
+    RunRow row;
+    row.nodes = run.nodes;
+    row.walltime_h = run.walltime_h;
+    row.count = run.count;
+    result.table1.push_back(row);
+    for (int i = 0; i < run.count; ++i) {
+      run_one(run.nodes, run.walltime_h, result, carry, hours_done,
+              hours_total);
+      util::log_info("campaign: finished run ", run.nodes, " nodes x ",
+                     run.walltime_h, " h (", hours_done, "/", hours_total,
+                     " h)");
+    }
+    result.node_hours += row.node_hours();
+  }
+
+  // Record sims still in flight at the very end of the campaign.
+  for (auto& [payload, ls] : sims_) {
+    if (ls.progress <= 0) continue;
+    if (ls.is_aa) {
+      result.aa_lengths_ns.push_back(ls.progress);
+      result.aa_perf.emplace_back(ls.size, ls.rate_per_s * 86400.0);
+      result.aa_total_ns += ls.progress;
+    } else {
+      result.cg_lengths_us.push_back(ls.progress);
+      result.cg_perf.emplace_back(ls.size, ls.rate_per_s * 86400.0);
+      result.cg_total_us += ls.progress;
+    }
+  }
+  sims_.clear();
+
+  result.patches_selected = patch_selector_->selected_count();
+  result.frames_selected = frame_selector_->selected_count();
+  return result;
+}
+
+}  // namespace mummi::wm

@@ -1,0 +1,50 @@
+#include "wm/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mummi::wm {
+
+double PerfModel::continuum_ms_per_day(int cores) const {
+  const double ratio =
+      static_cast<double>(cores) / static_cast<double>(continuum_ref_cores);
+  return continuum_ms_per_day_ref *
+         std::pow(ratio, continuum_scaling_exponent);
+}
+
+PerfModel::CgSample PerfModel::sample_cg(util::Rng& rng, bool degraded) const {
+  CgSample s;
+  s.particles = std::max(1.0, rng.normal(cg_ref_particles, cg_size_sigma));
+  // Rate scales inversely with system size around the reference benchmark.
+  double rate = cg_us_per_day * (cg_ref_particles / s.particles);
+  rate *= 1.0 + cg_perf_jitter * rng.normal();
+  if (degraded) rate *= cg_degraded_factor;
+  if (rng.uniform() < cg_slow_tail_prob)
+    rate *= rng.uniform(cg_slow_tail_factor, 0.95);
+  s.us_per_day = std::max(0.05, rate);
+  return s;
+}
+
+PerfModel::AaSample PerfModel::sample_aa(util::Rng& rng) const {
+  AaSample s;
+  s.atoms = std::max(1.0, rng.normal(aa_ref_atoms, aa_size_sigma));
+  double rate = aa_ns_per_day * (aa_ref_atoms / s.atoms);
+  rate *= 1.0 + aa_perf_jitter * rng.normal();
+  if (rng.uniform() < aa_slow_tail_prob)
+    rate *= rng.uniform(aa_slow_tail_factor, 0.97);
+  s.ns_per_day = std::max(1.0, rate);
+  return s;
+}
+
+double PerfModel::sample_createsim_seconds(util::Rng& rng) const {
+  return createsim_mean_s *
+         rng.lognormal(-0.5 * createsim_sigma * createsim_sigma,
+                       createsim_sigma);
+}
+
+double PerfModel::sample_backmap_seconds(util::Rng& rng) const {
+  return backmap_mean_s *
+         rng.lognormal(-0.5 * backmap_sigma * backmap_sigma, backmap_sigma);
+}
+
+}  // namespace mummi::wm

@@ -1,0 +1,81 @@
+#include "wm/profiler.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mummi::wm {
+
+void Profiler::sample(double now, const sched::Scheduler& scheduler) {
+  ProfileEvent event;
+  event.time = now;
+  const auto& graph = scheduler.graph();
+  const auto& spec = graph.spec();
+  const double total_gpus =
+      static_cast<double>(spec.nodes) * spec.gpus_per_node;
+  const double total_cores =
+      static_cast<double>(spec.nodes) * spec.cores_per_node();
+  event.gpu_occupancy =
+      total_gpus > 0 ? graph.used_gpus() / total_gpus : 0.0;
+  event.cpu_occupancy =
+      total_cores > 0 ? graph.used_cores() / total_cores : 0.0;
+  event.running_by_type = scheduler.running_by_type();
+  event.pending_by_type = scheduler.pending_by_type();
+  events_.push_back(std::move(event));
+}
+
+double Profiler::fraction_gpu_at_least(double threshold) const {
+  if (events_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.gpu_occupancy >= threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(events_.size());
+}
+
+namespace {
+std::vector<double> collect(const std::vector<ProfileEvent>& events,
+                            bool gpu) {
+  std::vector<double> xs;
+  xs.reserve(events.size());
+  for (const auto& e : events)
+    xs.push_back(gpu ? e.gpu_occupancy : e.cpu_occupancy);
+  return xs;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+}  // namespace
+
+double Profiler::mean_gpu_occupancy() const {
+  return mean_of(collect(events_, true));
+}
+
+double Profiler::median_gpu_occupancy() const {
+  return util::percentile(collect(events_, true), 50.0);
+}
+
+double Profiler::mean_cpu_occupancy() const {
+  return mean_of(collect(events_, false));
+}
+
+double Profiler::median_cpu_occupancy() const {
+  return util::percentile(collect(events_, false), 50.0);
+}
+
+util::Histogram Profiler::gpu_histogram(std::size_t bins) const {
+  util::Histogram h(0.0, 100.0001, bins);
+  for (const auto& e : events_) h.add(e.gpu_occupancy * 100.0);
+  return h;
+}
+
+util::Histogram Profiler::cpu_histogram(std::size_t bins) const {
+  util::Histogram h(0.0, 100.0001, bins);
+  for (const auto& e : events_) h.add(e.cpu_occupancy * 100.0);
+  return h;
+}
+
+}  // namespace mummi::wm

@@ -1,0 +1,140 @@
+#include "wm/selectors.hpp"
+
+#include "util/error.hpp"
+
+namespace mummi::wm {
+
+PatchSelector::PatchSelector(int dim, int n_queues, std::size_t capacity)
+    : dim_(dim), capacity_(capacity) {
+  MUMMI_CHECK_MSG(n_queues > 0, "need at least one queue");
+  queues_.reserve(static_cast<std::size_t>(n_queues));
+  for (int q = 0; q < n_queues; ++q)
+    queues_.push_back(std::make_unique<ml::FpsSampler>(dim, capacity));
+}
+
+void PatchSelector::add(int queue, const std::vector<ml::HDPoint>& points) {
+  std::lock_guard lock(mutex_);
+  MUMMI_CHECK_MSG(queue >= 0 && queue < n_queues(), "queue out of range");
+  queues_[static_cast<std::size_t>(queue)]->add_candidates(points);
+}
+
+std::vector<PatchSelection> PatchSelector::select(std::size_t k) {
+  std::lock_guard lock(mutex_);
+  std::vector<PatchSelection> out;
+  // Round-robin across queues so every protein-configuration class keeps
+  // getting representation.
+  std::size_t empty_streak = 0;
+  while (out.size() < k && empty_streak < queues_.size()) {
+    auto& queue = *queues_[static_cast<std::size_t>(next_queue_)];
+    auto picked = queue.select(1);
+    if (picked.empty()) {
+      ++empty_streak;
+    } else {
+      empty_streak = 0;
+      out.push_back(PatchSelection{std::move(picked.front()), next_queue_});
+    }
+    next_queue_ = (next_queue_ + 1) % n_queues();
+  }
+  return out;
+}
+
+std::size_t PatchSelector::update_ranks() {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (auto& q : queues_) {
+    q->update_ranks();
+    total += q->candidate_count();
+  }
+  return total;
+}
+
+std::size_t PatchSelector::candidate_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q->candidate_count();
+  return total;
+}
+
+std::size_t PatchSelector::selected_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q->selected_count();
+  return total;
+}
+
+util::Bytes PatchSelector::serialize() const {
+  std::lock_guard lock(mutex_);
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(queues_.size()));
+  w.u32(static_cast<std::uint32_t>(next_queue_));
+  for (const auto& q : queues_) w.bytes(q->serialize());
+  return std::move(w).take();
+}
+
+void PatchSelector::restore(const util::Bytes& bytes) {
+  std::lock_guard lock(mutex_);
+  util::ByteReader r(bytes);
+  const auto nq = r.u32();
+  MUMMI_CHECK_MSG(nq == queues_.size(), "queue count mismatch on restore");
+  next_queue_ = static_cast<int>(r.u32());
+  for (std::size_t q = 0; q < queues_.size(); ++q)
+    queues_[q] = std::make_unique<ml::FpsSampler>(
+        ml::FpsSampler::deserialize(r.bytes()));
+}
+
+void PatchSelector::set_history_enabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  for (auto& q : queues_) q->set_history_enabled(enabled);
+}
+
+void FrameSelector::set_history_enabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  sampler_->set_history_enabled(enabled);
+}
+
+std::vector<std::vector<float>> FrameSelector::default_edges() {
+  // tilt: 0-90 deg in 6 bins; rotation: 0-360 in 8 bins; separation: 0-3 nm
+  // in 6 bins.
+  return {
+      {15, 30, 45, 60, 75},
+      {45, 90, 135, 180, 225, 270, 315},
+      {0.5, 1.0, 1.5, 2.0, 2.5},
+  };
+}
+
+FrameSelector::FrameSelector(double importance, std::uint64_t seed)
+    : sampler_(std::make_unique<ml::BinnedSampler>(default_edges(), importance,
+                                                   seed)) {}
+
+void FrameSelector::add(const std::vector<ml::HDPoint>& points) {
+  std::lock_guard lock(mutex_);
+  sampler_->add_candidates(points);
+}
+
+std::vector<ml::HDPoint> FrameSelector::select(std::size_t k) {
+  std::lock_guard lock(mutex_);
+  return sampler_->select(k);
+}
+
+std::size_t FrameSelector::candidate_count() const {
+  std::lock_guard lock(mutex_);
+  return sampler_->candidate_count();
+}
+
+std::size_t FrameSelector::selected_count() const {
+  std::lock_guard lock(mutex_);
+  return sampler_->selected_count();
+}
+
+util::Bytes FrameSelector::serialize() const {
+  std::lock_guard lock(mutex_);
+  return sampler_->serialize();
+}
+
+void FrameSelector::restore(const util::Bytes& bytes) {
+  std::lock_guard lock(mutex_);
+  sampler_ = std::make_unique<ml::BinnedSampler>(
+      ml::BinnedSampler::deserialize(bytes));
+}
+
+}  // namespace mummi::wm

@@ -1,0 +1,89 @@
+// The Patch Selector and Frame Selector (paper Task 2), thread-safe.
+//
+// "A custom, abstract API was developed using the DynIm framework that was
+// extended by both the Patch Selector and the (CG) Frame Selector ... To
+// support the application need, we incorporate five in-memory queues in the
+// Patch Selector for sampling different protein configurations. For
+// computational viability, each queue is capped at 35,000 patches."
+//
+// Thread safety matters because selectors are shared between the ML-selection
+// task and the feedback task ("thread-safe objects are used with a mix of
+// blocking and nonblocking locks").
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "continuum/gridsim2d.hpp"
+#include "ml/binned_sampler.hpp"
+#include "ml/fps_sampler.hpp"
+
+namespace mummi::wm {
+
+/// A selected patch candidate with its originating queue.
+struct PatchSelection {
+  ml::HDPoint point;
+  int queue = 0;
+};
+
+class PatchSelector {
+ public:
+  /// `n_queues` farthest-point queues (paper: 5; one per protein
+  /// configuration class), each capped at `capacity` candidates.
+  PatchSelector(int dim, int n_queues, std::size_t capacity);
+
+  /// Ingests encoded patches; `queue_of(id)` routing is supplied per point.
+  void add(int queue, const std::vector<ml::HDPoint>& points);
+
+  /// Selects up to k candidates round-robin across queues, most novel first
+  /// within each queue.
+  [[nodiscard]] std::vector<PatchSelection> select(std::size_t k);
+
+  /// Forces rank refresh on all queues (the 3-4 minute operation the paper
+  /// times); returns candidates ranked.
+  std::size_t update_ranks();
+
+  [[nodiscard]] std::size_t candidate_count() const;
+  [[nodiscard]] std::size_t selected_count() const;
+  [[nodiscard]] int n_queues() const { return static_cast<int>(queues_.size()); }
+
+  [[nodiscard]] util::Bytes serialize() const;
+  void restore(const util::Bytes& bytes);
+
+  /// Disables event-history recording (campaign-scale memory relief).
+  void set_history_enabled(bool enabled);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ml::FpsSampler>> queues_;
+  int next_queue_ = 0;
+  int dim_;
+  std::size_t capacity_;
+};
+
+class FrameSelector {
+ public:
+  /// 3-D binned sampler over (tilt [deg], rotation [deg], separation [nm]).
+  FrameSelector(double importance, std::uint64_t seed);
+
+  void add(const std::vector<ml::HDPoint>& points);
+  [[nodiscard]] std::vector<ml::HDPoint> select(std::size_t k);
+
+  [[nodiscard]] std::size_t candidate_count() const;
+  [[nodiscard]] std::size_t selected_count() const;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  void restore(const util::Bytes& bytes);
+
+  /// Disables event-history recording (campaign-scale memory relief).
+  void set_history_enabled(bool enabled);
+
+ private:
+  static std::vector<std::vector<float>> default_edges();
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<ml::BinnedSampler> sampler_;
+};
+
+}  // namespace mummi::wm

@@ -1,0 +1,263 @@
+#include "wm/workflow_manager.hpp"
+
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace mummi::wm {
+
+WorkflowManager::WorkflowManager(WmConfig config, Maestro& maestro,
+                                 TrackerSet& trackers,
+                                 PatchSelector& patch_selector,
+                                 FrameSelector& frame_selector)
+    : config_(std::move(config)),
+      maestro_(maestro),
+      trackers_(trackers),
+      patch_selector_(patch_selector),
+      frame_selector_(frame_selector) {
+  maestro_.on_start([this](const sched::Job& job) {
+    bump(pending_, job.spec.type, -1);
+    bump(running_, job.spec.type, +1);
+  });
+  maestro_.on_finish([this](const sched::Job& job) { handle_finish(job); });
+}
+
+void WorkflowManager::bump(std::unordered_map<std::string, int>& map,
+                           const std::string& key, int delta) {
+  map[key] += delta;
+}
+
+int WorkflowManager::running(const std::string& type) const {
+  auto it = running_.find(type);
+  return it == running_.end() ? 0 : it->second;
+}
+
+int WorkflowManager::pending(const std::string& type) const {
+  auto it = pending_.find(type);
+  return it == pending_.end() ? 0 : it->second;
+}
+
+int WorkflowManager::cg_capacity() const {
+  const auto& spec = maestro_.scheduler().graph().spec();
+  const int total = spec.nodes * spec.gpus_per_node;
+  return static_cast<int>(total * config_.gpu_frac_cg);
+}
+
+int WorkflowManager::aa_capacity() const {
+  const auto& spec = maestro_.scheduler().graph().spec();
+  const int total = spec.nodes * spec.gpus_per_node;
+  return total - cg_capacity();
+}
+
+void WorkflowManager::ingest_patches(int queue,
+                                     const std::vector<ml::HDPoint>& points) {
+  patch_selector_.add(queue, points);
+}
+
+void WorkflowManager::ingest_frames(const std::vector<ml::HDPoint>& points) {
+  frame_selector_.add(points);
+}
+
+std::vector<fb::IterationStats> WorkflowManager::run_feedback() {
+  std::vector<fb::IterationStats> out;
+  out.reserve(feedback_.size());
+  for (auto* manager : feedback_) out.push_back(manager->iterate());
+  return out;
+}
+
+int WorkflowManager::submit_via_tracker(const std::string& type,
+                                        std::uint64_t payload) {
+  auto& tracker = trackers_.tracker(type);
+  maestro_.submit(tracker.make_spec(payload));
+  tracker.note_submitted();
+  bump(pending_, type, +1);
+  return 1;
+}
+
+int WorkflowManager::maintain(int submit_budget) {
+  int submitted = 0;
+  auto& scheduler = maestro_.scheduler();
+
+  // Simulations first: GPUs must never idle while prepared work exists.
+  auto fill_sims = [&](const std::string& sim_type,
+                       std::deque<std::uint64_t>& ready, int capacity) {
+    while (submitted < submit_budget && !ready.empty() &&
+           running(sim_type) + pending(sim_type) < capacity) {
+      const std::uint64_t payload = ready.front();
+      ready.pop_front();
+      submitted += submit_via_tracker(sim_type, payload);
+    }
+  };
+  if (!config_.cg_sim_type.empty())
+    fill_sims(config_.cg_sim_type, ready_cg_, cg_capacity());
+  if (!config_.aa_sim_type.empty())
+    fill_sims(config_.aa_sim_type, ready_aa_, aa_capacity());
+
+  // Setups: keep the prepared buffers near target without oversubscribing
+  // CPUs ("a full buffer prevents new setup jobs"; CPU jobs run "only when
+  // needed to prevent simulations of stale configurations").
+  auto fill_setups = [&](const std::string& setup_type,
+                         const std::string& sim_type,
+                         std::deque<std::uint64_t>& ready, int headroom,
+                         int sim_capacity, auto select_one) {
+    if (setup_type.empty()) return;
+    const auto& tracker = trackers_.tracker(setup_type);
+    const int cores_each = tracker.config().request.slot.cores *
+                           tracker.config().request.nslots;
+    // Prepared work wanted: enough to fill every GPU the sim type is not
+    // yet using (ramp-up) plus a steady-state headroom buffer for turnover.
+    const int sim_deficit =
+        std::max(0, sim_capacity - running(sim_type) - pending(sim_type));
+    const int target = sim_deficit + headroom;
+    while (submitted < submit_budget) {
+      const int inflight = running(setup_type) + pending(setup_type);
+      if (static_cast<int>(ready.size()) + inflight >= target) break;
+      // CPU headroom: free cores must cover queued-but-unplaced setups too.
+      const int needed = (pending(setup_type) + 1) * cores_each;
+      if (scheduler.graph().total_free_cores() < needed) break;
+      const auto payload = select_one();
+      if (!payload) break;  // selector exhausted
+      submitted += submit_via_tracker(setup_type, *payload);
+    }
+  };
+  fill_setups(config_.cg_setup_type, config_.cg_sim_type, ready_cg_,
+              config_.cg_ready_target, cg_capacity(),
+              [this]() -> std::optional<std::uint64_t> {
+                if (!requeued_cg_setup_.empty()) {
+                  const auto payload = requeued_cg_setup_.front();
+                  requeued_cg_setup_.pop_front();
+                  return payload;
+                }
+                auto picks = patch_selector_.select(1);
+                if (picks.empty()) return std::nullopt;
+                return picks.front().point.id;
+              });
+  fill_setups(config_.aa_setup_type, config_.aa_sim_type, ready_aa_,
+              config_.aa_ready_target, aa_capacity(),
+              [this]() -> std::optional<std::uint64_t> {
+                if (!requeued_aa_setup_.empty()) {
+                  const auto payload = requeued_aa_setup_.front();
+                  requeued_aa_setup_.pop_front();
+                  return payload;
+                }
+                auto picks = frame_selector_.select(1);
+                if (picks.empty()) return std::nullopt;
+                return picks.front().id;
+              });
+
+  if (submitted > 0) maestro_.poll();
+  return submitted;
+}
+
+void WorkflowManager::handle_finish(const sched::Job& job) {
+  const std::string& type = job.spec.type;
+  // Cancelled-before-start jobs leave the pending set; everything else was
+  // running.
+  if (job.state == sched::JobState::kCancelled && job.start_time <= 0) {
+    bump(pending_, type, -1);
+  } else {
+    bump(running_, type, -1);
+  }
+
+  if (!trackers_.has(type)) return;  // e.g. the continuum job
+  auto& tracker = trackers_.tracker(type);
+
+  const bool is_cg_setup = type == config_.cg_setup_type;
+  const bool is_aa_setup = type == config_.aa_setup_type;
+  const bool is_sim = type == config_.cg_sim_type || type == config_.aa_sim_type;
+
+  if (job.state == sched::JobState::kCompleted) {
+    tracker.note_completed();
+    if (is_cg_setup) ready_cg_.push_back(job.spec.payload);
+    if (is_aa_setup) ready_aa_.push_back(job.spec.payload);
+    if (is_sim && sim_finished_) sim_finished_(job);
+    return;
+  }
+
+  if (job.state == sched::JobState::kFailed) {
+    tracker.note_failed();
+    int& tries = restarts_[job.spec.payload];
+    if (tries < tracker.config().max_restarts) {
+      ++tries;
+      tracker.note_restarted();
+      submit_via_tracker(type, job.spec.payload);
+      util::log_debug("resubmitted failed ", type, " payload ",
+                      job.spec.payload, " (attempt ", tries, ")");
+    } else if (is_sim && sim_finished_) {
+      sim_finished_(job);  // give the application the terminal failure
+    }
+  }
+}
+
+void WorkflowManager::requeue_setup(const std::string& type,
+                                    std::uint64_t payload) {
+  if (type == config_.cg_setup_type)
+    requeued_cg_setup_.push_back(payload);
+  else if (type == config_.aa_setup_type)
+    requeued_aa_setup_.push_back(payload);
+  else
+    throw util::Error("requeue_setup: unknown setup type " + type);
+}
+
+namespace {
+void write_deque(util::ByteWriter& w, const std::deque<std::uint64_t>& q) {
+  w.u64(q.size());
+  for (const auto v : q) w.u64(v);
+}
+
+std::deque<std::uint64_t> read_deque(util::ByteReader& r) {
+  std::deque<std::uint64_t> q;
+  const auto n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) q.push_back(r.u64());
+  return q;
+}
+}  // namespace
+
+util::Bytes WorkflowManager::serialize() const {
+  util::ByteWriter w;
+  write_deque(w, ready_cg_);
+  write_deque(w, ready_aa_);
+  write_deque(w, requeued_cg_setup_);
+  write_deque(w, requeued_aa_setup_);
+  w.u64(restarts_.size());
+  for (const auto& [payload, tries] : restarts_) {
+    w.u64(payload);
+    w.u32(static_cast<std::uint32_t>(tries));
+  }
+  w.bytes(patch_selector_.serialize());
+  w.bytes(frame_selector_.serialize());
+  return std::move(w).take();
+}
+
+void WorkflowManager::restore(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  ready_cg_ = read_deque(r);
+  ready_aa_ = read_deque(r);
+  requeued_cg_setup_ = read_deque(r);
+  requeued_aa_setup_ = read_deque(r);
+  restarts_.clear();
+  const auto n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto payload = r.u64();
+    restarts_[payload] = static_cast<int>(r.u32());
+  }
+  const util::Bytes patch_state = r.bytes();
+  patch_selector_.restore(patch_state);
+  const util::Bytes frame_state = r.bytes();
+  frame_selector_.restore(frame_state);
+}
+
+WorkflowManager::CarryOver WorkflowManager::carry_over() const {
+  return CarryOver{ready_cg_, ready_aa_, requeued_cg_setup_,
+                   requeued_aa_setup_};
+}
+
+void WorkflowManager::restore_carry_over(const CarryOver& state) {
+  ready_cg_ = state.ready_cg;
+  ready_aa_ = state.ready_aa;
+  requeued_cg_setup_ = state.requeued_cg_setup;
+  requeued_aa_setup_ = state.requeued_aa_setup;
+}
+
+}  // namespace mummi::wm

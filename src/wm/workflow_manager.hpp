@@ -1,0 +1,137 @@
+// The Workflow Manager (paper Sec. 4.4).
+//
+// "MuMMI is coordinated by a configurable Workflow Manager (WM).
+// Generically, the role of the WM is to couple the scales by consuming
+// relevant data, supporting ML-based selection, spawning the corresponding
+// simulations, and facilitating a feedback loop ... The WM is also
+// responsible for tracking all running jobs, managing data, profiling, and
+// several other tasks."
+//
+// Tasks mapped to this class:
+//   Task 1 (process coarse data)  -> ingest_patches()/ingest_frames(); the
+//     caller parses snapshots/trajectories (PatchCreator, CgAnalysis) or a
+//     synthetic source at campaign scale.
+//   Task 2 (ML selection)         -> the PatchSelector/FrameSelector, consulted
+//     inside maintain() when new setups are needed.
+//   Task 3 (job management)       -> maintain(): scans buffers and capacity,
+//     replaces finished/failed jobs, keeps "sets of CG and AA simulations
+//     prepared in anticipation" of free GPUs.
+//   Task 4 (feedback)             -> FeedbackManagers registered by the app,
+//     run by run_feedback().
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "feedback/feedback_manager.hpp"
+#include "wm/job_tracker.hpp"
+#include "wm/maestro.hpp"
+#include "wm/selectors.hpp"
+
+namespace mummi::wm {
+
+struct WmConfig {
+  // Job types (tracker keys). Any may be empty to disable that stage.
+  std::string cg_setup_type = "cg_setup";
+  std::string cg_sim_type = "cg_sim";
+  std::string aa_setup_type = "aa_setup";
+  std::string aa_sim_type = "aa_sim";
+
+  /// Fraction of total GPUs reserved for CG simulations (paper: 60-80%);
+  /// the remainder goes to AA.
+  double gpu_frac_cg = 0.78;
+
+  /// Target number of prepared-and-waiting simulations per scale — "sets of
+  /// CG and AA simulations are kept prepared (setup completed) in
+  /// anticipation ... a trade-off between readiness ... and simulating stale
+  /// configurations."
+  int cg_ready_target = 60;
+  int aa_ready_target = 30;
+};
+
+class WorkflowManager {
+ public:
+  using SimFinishedFn = std::function<void(const sched::Job&)>;
+
+  WorkflowManager(WmConfig config, Maestro& maestro, TrackerSet& trackers,
+                  PatchSelector& patch_selector, FrameSelector& frame_selector);
+
+  /// Task 1 entry points.
+  void ingest_patches(int queue, const std::vector<ml::HDPoint>& points);
+  void ingest_frames(const std::vector<ml::HDPoint>& points);
+
+  /// Task 3: refills the machine. Submits at most `submit_budget` jobs (the
+  /// WM's submission throttle); returns how many were submitted.
+  int maintain(int submit_budget);
+
+  /// Task 4: registered feedback managers, executed in order.
+  void add_feedback(fb::FeedbackManager* manager) {
+    feedback_.push_back(manager);
+  }
+  std::vector<fb::IterationStats> run_feedback();
+
+  /// Wire this to Maestro::on_finish (done automatically in the ctor).
+  void handle_finish(const sched::Job& job);
+
+  /// Fired when a *simulation* job (cg_sim/aa_sim) reaches a terminal state;
+  /// the application records trajectory lengths, persists results, etc.
+  void on_sim_finished(SimFinishedFn fn) { sim_finished_ = std::move(fn); }
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] int running(const std::string& type) const;
+  [[nodiscard]] int pending(const std::string& type) const;
+  [[nodiscard]] std::size_t cg_ready() const { return ready_cg_.size(); }
+  [[nodiscard]] std::size_t aa_ready() const { return ready_aa_.size(); }
+  [[nodiscard]] PatchSelector& patch_selector() { return patch_selector_; }
+  [[nodiscard]] FrameSelector& frame_selector() { return frame_selector_; }
+
+  /// GPU capacity split for the current machine.
+  [[nodiscard]] int cg_capacity() const;
+  [[nodiscard]] int aa_capacity() const;
+
+  /// Re-queues a setup whose job was interrupted (end of allocation); these
+  /// drain before new selections are made.
+  void requeue_setup(const std::string& type, std::uint64_t payload);
+
+  /// Carry-over state between allocations: ready buffers and interrupted
+  /// setups survive runs ("MuMMI can seamlessly (re)start runs at different
+  /// computational scales").
+  struct CarryOver {
+    std::deque<std::uint64_t> ready_cg;
+    std::deque<std::uint64_t> ready_aa;
+    std::deque<std::uint64_t> requeued_cg_setup;
+    std::deque<std::uint64_t> requeued_aa_setup;
+  };
+  [[nodiscard]] CarryOver carry_over() const;
+  void restore_carry_over(const CarryOver& state);
+
+  /// Full WM state to/from bytes: buffers, requeues, restart counts and both
+  /// selectors — everything needed to "be restored completely after any such
+  /// crash" (Sec. 4.4). Pair with util::CheckpointFile for armored disk I/O.
+  [[nodiscard]] util::Bytes serialize() const;
+  void restore(const util::Bytes& bytes);
+
+ private:
+  void bump(std::unordered_map<std::string, int>& map, const std::string& key,
+            int delta);
+  int submit_via_tracker(const std::string& type, std::uint64_t payload);
+
+  WmConfig config_;
+  Maestro& maestro_;
+  TrackerSet& trackers_;
+  PatchSelector& patch_selector_;
+  FrameSelector& frame_selector_;
+  std::vector<fb::FeedbackManager*> feedback_;
+  SimFinishedFn sim_finished_;
+
+  std::deque<std::uint64_t> ready_cg_;  // payloads with setup complete
+  std::deque<std::uint64_t> ready_aa_;
+  std::deque<std::uint64_t> requeued_cg_setup_;
+  std::deque<std::uint64_t> requeued_aa_setup_;
+  std::unordered_map<std::string, int> running_;
+  std::unordered_map<std::string, int> pending_;
+  // Logical restart counts per payload (trackers bound resubmissions).
+  std::unordered_map<std::uint64_t, int> restarts_;
+};
+
+}  // namespace mummi::wm

@@ -1,0 +1,84 @@
+#include "continuum/grid2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mummi::cont {
+namespace {
+
+TEST(Grid2d, ConstructionAndFill) {
+  Grid2d g(4, 2.5);
+  EXPECT_EQ(g.n(), 4);
+  EXPECT_EQ(g.size(), 16u);
+  EXPECT_DOUBLE_EQ(g.at(3, 3), 2.5);
+  EXPECT_DOUBLE_EQ(g.sum(), 40.0);
+}
+
+TEST(Grid2d, InvalidSizeRejected) {
+  EXPECT_THROW(Grid2d(0), util::Error);
+}
+
+TEST(Grid2d, PeriodicAccess) {
+  Grid2d g(4);
+  g.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(g.atp(4, 4), 7.0);
+  EXPECT_DOUBLE_EQ(g.atp(-4, -8), 7.0);
+  EXPECT_DOUBLE_EQ(g.atp(-1, 0), g.at(3, 0));
+}
+
+TEST(Grid2d, LaplacianOfConstantIsZero) {
+  Grid2d g(8, 3.0);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(g.laplacian(i, j, 0.5), 0.0);
+}
+
+TEST(Grid2d, LaplacianOfSpike) {
+  Grid2d g(5);
+  g.at(2, 2) = 1.0;
+  const double h = 1.0;
+  EXPECT_DOUBLE_EQ(g.laplacian(2, 2, h), -4.0);
+  EXPECT_DOUBLE_EQ(g.laplacian(1, 2, h), 1.0);
+  EXPECT_DOUBLE_EQ(g.laplacian(2, 1, h), 1.0);
+  EXPECT_DOUBLE_EQ(g.laplacian(0, 0, h), 0.0);
+}
+
+TEST(Grid2d, LaplacianConservesMass) {
+  // Sum of the discrete Laplacian over a periodic grid is identically zero.
+  Grid2d g(6);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) g.at(i, j) = std::sin(i) + 0.3 * j * j;
+  double total = 0;
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) total += g.laplacian(i, j, 1.0);
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+TEST(Grid2d, InterpolateAtNodesExact) {
+  Grid2d g(4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) g.at(i, j) = i * 10 + j;
+  EXPECT_DOUBLE_EQ(g.interpolate(2.0, 3.0), 23.0);
+  EXPECT_DOUBLE_EQ(g.interpolate(0.0, 0.0), 0.0);
+}
+
+TEST(Grid2d, InterpolateMidpoint) {
+  Grid2d g(4);
+  g.at(1, 1) = 0.0;
+  g.at(2, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(g.interpolate(1.5, 1.0), 1.0);
+}
+
+TEST(Grid2d, InterpolateWrapsAroundBoundary) {
+  Grid2d g(4, 0.0);
+  g.at(3, 0) = 4.0;
+  g.at(0, 0) = 8.0;
+  EXPECT_DOUBLE_EQ(g.interpolate(3.5, 0.0), 6.0);
+  EXPECT_DOUBLE_EQ(g.interpolate(-0.5, 0.0), 6.0);
+}
+
+}  // namespace
+}  // namespace mummi::cont

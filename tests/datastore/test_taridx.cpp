@@ -1,0 +1,199 @@
+#include "datastore/taridx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/bytes.hpp"
+#include "util/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace mummi::ds {
+namespace {
+
+class TarIdxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mummi_tar_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string tar_path() const {
+    return (dir_ / "archive.tar").string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TarIdxTest, AppendReadRoundTrip) {
+  TarIdx tar(tar_path());
+  tar.append("key-a", util::to_bytes("alpha"));
+  tar.append("key-b", util::to_bytes("beta"));
+  EXPECT_EQ(util::to_string(*tar.read("key-a")), "alpha");
+  EXPECT_EQ(util::to_string(*tar.read("key-b")), "beta");
+  EXPECT_FALSE(tar.read("key-c").has_value());
+  EXPECT_EQ(tar.count(), 2u);
+}
+
+TEST_F(TarIdxTest, EmptyValue) {
+  TarIdx tar(tar_path());
+  tar.append("empty", {});
+  ASSERT_TRUE(tar.read("empty").has_value());
+  EXPECT_TRUE(tar.read("empty")->empty());
+}
+
+TEST_F(TarIdxTest, LargeUnalignedValues) {
+  TarIdx tar(tar_path());
+  util::Rng rng(4);
+  for (std::size_t size : {1u, 511u, 512u, 513u, 100000u}) {
+    util::Bytes data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const std::string key = "blob-" + std::to_string(size);
+    tar.append(key, data);
+    EXPECT_EQ(*tar.read(key), data) << size;
+  }
+}
+
+TEST_F(TarIdxTest, DuplicateKeyLastWins) {
+  // "In the event of a failure during a write, the same key gets reinserted
+  // and is taken to be the correct value."
+  TarIdx tar(tar_path());
+  tar.append("key", util::to_bytes("first"));
+  tar.append("key", util::to_bytes("second"));
+  EXPECT_EQ(util::to_string(*tar.read("key")), "second");
+  EXPECT_EQ(tar.count(), 1u);
+}
+
+TEST_F(TarIdxTest, EraseKeyIsIndexOnly) {
+  TarIdx tar(tar_path());
+  tar.append("gone", util::to_bytes("data"));
+  const auto bytes_before = tar.data_bytes();
+  EXPECT_TRUE(tar.erase_key("gone"));
+  EXPECT_FALSE(tar.erase_key("gone"));
+  EXPECT_FALSE(tar.contains("gone"));
+  EXPECT_EQ(tar.data_bytes(), bytes_before);  // append-only media
+}
+
+TEST_F(TarIdxTest, KeysSorted) {
+  TarIdx tar(tar_path());
+  tar.append("c", {});
+  tar.append("a", {});
+  tar.append("b", {});
+  EXPECT_EQ(tar.keys(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(TarIdxTest, PersistsAcrossReopen) {
+  {
+    TarIdx tar(tar_path());
+    tar.append("persist", util::to_bytes("value"));
+    tar.flush();
+  }
+  TarIdx again(tar_path());
+  EXPECT_EQ(util::to_string(*again.read("persist")), "value");
+}
+
+TEST_F(TarIdxTest, RebuildsIndexWhenSidecarMissing) {
+  {
+    TarIdx tar(tar_path());
+    tar.append("x", util::to_bytes("1"));
+    tar.append("y", util::to_bytes("22"));
+    tar.flush();
+  }
+  util::remove_file(tar_path() + ".idx");
+  TarIdx rebuilt(tar_path());
+  EXPECT_EQ(rebuilt.count(), 2u);
+  EXPECT_EQ(util::to_string(*rebuilt.read("y")), "22");
+}
+
+TEST_F(TarIdxTest, RebuildsIndexWhenSidecarCorrupt) {
+  {
+    TarIdx tar(tar_path());
+    tar.append("x", util::to_bytes("data"));
+    tar.flush();
+  }
+  util::write_file(tar_path() + ".idx", util::to_bytes("garbage"));
+  TarIdx rebuilt(tar_path());
+  EXPECT_EQ(util::to_string(*rebuilt.read("x")), "data");
+}
+
+TEST_F(TarIdxTest, AppendAfterReopenDoesNotCorrupt) {
+  {
+    TarIdx tar(tar_path());
+    tar.append("first", util::to_bytes("1"));
+    tar.flush();
+  }
+  {
+    TarIdx tar(tar_path());
+    tar.append("second", util::to_bytes("2"));
+    tar.flush();
+  }
+  TarIdx tar(tar_path());
+  EXPECT_EQ(tar.count(), 2u);
+  EXPECT_EQ(util::to_string(*tar.read("first")), "1");
+  EXPECT_EQ(util::to_string(*tar.read("second")), "2");
+}
+
+TEST_F(TarIdxTest, ScanListsMembers) {
+  {
+    TarIdx tar(tar_path());
+    tar.append("m1", util::to_bytes("aaa"));
+    tar.append("m2", util::to_bytes("bbbbb"));
+    tar.flush();
+  }
+  const auto members = TarIdx::scan(tar_path());
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(std::get<0>(members[0]), "m1");
+  EXPECT_EQ(std::get<2>(members[0]), 3u);
+  EXPECT_EQ(std::get<0>(members[1]), "m2");
+  EXPECT_EQ(std::get<2>(members[1]), 5u);
+}
+
+TEST_F(TarIdxTest, ProducesStandardTarReadableByExternalTool) {
+  // "The archives created using the pytaridx are standard tar files, which
+  // are portable and can be used with the commonly-available decoder."
+  {
+    TarIdx tar(tar_path());
+    tar.append("hello.txt", util::to_bytes("hello world\n"));
+    tar.append("dir-entry", util::to_bytes("more data"));
+    tar.flush();
+  }
+  const std::string cmd =
+      "tar -tf " + tar_path() + " > " + (dir_ / "listing.txt").string() +
+      " 2>/dev/null";
+  if (std::system(cmd.c_str()) == 0) {
+    const auto listing = util::read_file((dir_ / "listing.txt").string());
+    ASSERT_TRUE(listing.has_value());
+    const std::string text = util::to_string(*listing);
+    EXPECT_NE(text.find("hello.txt"), std::string::npos);
+    EXPECT_NE(text.find("dir-entry"), std::string::npos);
+  } else {
+    GTEST_SKIP() << "system tar unavailable";
+  }
+}
+
+TEST_F(TarIdxTest, ManyMembersRandomAccess) {
+  TarIdx tar(tar_path());
+  util::Rng rng(9);
+  constexpr int kMembers = 500;
+  for (int i = 0; i < kMembers; ++i) {
+    util::ByteWriter w;
+    w.u64(static_cast<std::uint64_t>(i) * 31337);
+    tar.append("member-" + std::to_string(i), w.data());
+  }
+  // Random-access spot checks.
+  for (int trial = 0; trial < 50; ++trial) {
+    const int i = static_cast<int>(rng.uniform_index(kMembers));
+    auto data = tar.read("member-" + std::to_string(i));
+    ASSERT_TRUE(data.has_value());
+    util::ByteReader r(*data);
+    EXPECT_EQ(r.u64(), static_cast<std::uint64_t>(i) * 31337);
+  }
+  EXPECT_EQ(tar.count(), static_cast<std::size_t>(kMembers));
+}
+
+}  // namespace
+}  // namespace mummi::ds

@@ -1,0 +1,139 @@
+// Integration: the discrete-event campaign at reduced scale exercises the
+// full coordination stack — scheduler, queue manager, trackers, selectors,
+// workflow manager, profiler, perf models and the carry-over mechanics.
+#include "wm/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi::wm {
+namespace {
+
+CampaignConfig mini_config() {
+  CampaignConfig cfg;
+  cfg.runs = {{50, 2, 1}, {100, 3, 1}};
+  cfg.proteins_per_snapshot = 30;
+  // Short runs can't amortize 1.5-2 h setups; scale them down so the ramp
+  // completes within the mini schedule (ratios preserved).
+  cfg.perf.createsim_mean_s = 900;
+  cfg.perf.backmap_mean_s = 1200;
+  cfg.seed = 13;
+  return cfg;
+}
+
+class MiniCampaign : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new CampaignResult(Campaign(mini_config()).run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static CampaignResult* result_;
+};
+
+CampaignResult* MiniCampaign::result_ = nullptr;
+
+TEST_F(MiniCampaign, NodeHoursMatchSchedule) {
+  EXPECT_DOUBLE_EQ(result_->node_hours, 50 * 2 + 100 * 3);
+  ASSERT_EQ(result_->table1.size(), 2u);
+  EXPECT_DOUBLE_EQ(result_->table1[0].node_hours(), 100);
+  EXPECT_DOUBLE_EQ(result_->table1[1].node_hours(), 300);
+}
+
+TEST_F(MiniCampaign, ContinuumProducedSnapshots) {
+  // 5 hours at one snapshot per 90 s ~ 200 snapshots (minus startup).
+  EXPECT_GT(result_->snapshots, 150u);
+  EXPECT_LE(result_->snapshots, 200u);
+  EXPECT_NEAR(result_->continuum_total_us,
+              static_cast<double>(result_->snapshots), 1e-9);
+  EXPECT_EQ(result_->continuum_ms_per_day.size(), result_->snapshots);
+}
+
+TEST_F(MiniCampaign, PatchesCreatedAndSelectedSparsely) {
+  EXPECT_EQ(result_->patches_created, result_->snapshots * 30u);
+  EXPECT_GT(result_->patches_selected, 0u);
+  EXPECT_LT(result_->patches_selected, result_->patches_created);
+}
+
+TEST_F(MiniCampaign, SimulationsRanAndAccumulated) {
+  EXPECT_GT(result_->cg_lengths_us.size(), 10u);
+  EXPECT_GT(result_->cg_total_us, 0.0);
+  for (double len : result_->cg_lengths_us) {
+    EXPECT_GT(len, 0.0);
+    EXPECT_LE(len, 5.0 + 1e-9);  // CG cap
+  }
+  EXPECT_EQ(result_->cg_perf.size(), result_->cg_lengths_us.size());
+}
+
+TEST_F(MiniCampaign, PerfSamplesNearCalibration) {
+  for (const auto& [particles, rate] : result_->cg_perf) {
+    EXPECT_NEAR(particles, 140000, 6 * 1200);
+    EXPECT_GT(rate, 0.6);
+    EXPECT_LT(rate, 1.3);
+  }
+}
+
+TEST_F(MiniCampaign, ProfilerObservedOccupancy) {
+  EXPECT_GT(result_->profiler.events().size(), 20u);
+  // Short runs are ramp-dominated; occupancy must still become substantial.
+  double peak = 0;
+  for (const auto& e : result_->profiler.events())
+    peak = std::max(peak, e.gpu_occupancy);
+  EXPECT_GT(peak, 0.5);
+}
+
+TEST_F(MiniCampaign, ProfileTimesSpanBothRuns) {
+  const auto& events = result_->profiler.events();
+  EXPECT_LT(events.front().time, 2 * 3600.0);
+  EXPECT_GT(events.back().time, 2 * 3600.0);  // second run's window
+}
+
+TEST_F(MiniCampaign, LedgerAccumulated) {
+  EXPECT_GT(result_->ledger.bytes_continuum, 0.0);
+  EXPECT_GT(result_->ledger.bytes_patches, 0.0);
+  EXPECT_GT(result_->ledger.files_total, result_->patches_created);
+  EXPECT_GT(result_->ledger.bytes_total(), result_->ledger.bytes_persisted());
+}
+
+TEST_F(MiniCampaign, FeedbackStatsWithinTarget) {
+  ASSERT_FALSE(result_->cg2cont_stats.empty());
+  for (const auto& s : result_->cg2cont_stats)
+    EXPECT_LT(s.total_virtual(), 600.0);  // under the 10-minute target
+}
+
+TEST(MiniCampaignDeterminism, SameSeedSameResult) {
+  CampaignConfig cfg;
+  cfg.runs = {{20, 1, 1}};
+  cfg.proteins_per_snapshot = 10;
+  cfg.seed = 99;
+  const auto a = Campaign(cfg).run();
+  const auto b = Campaign(cfg).run();
+  EXPECT_EQ(a.patches_created, b.patches_created);
+  EXPECT_EQ(a.patches_selected, b.patches_selected);
+  EXPECT_EQ(a.cg_lengths_us, b.cg_lengths_us);
+  EXPECT_EQ(a.frame_candidates, b.frame_candidates);
+}
+
+TEST(MiniCampaignModes, SyncQrStillCompletes) {
+  CampaignConfig cfg;
+  cfg.runs = {{20, 1, 1}};
+  cfg.proteins_per_snapshot = 10;
+  cfg.queue.async_match = false;
+  cfg.seed = 7;
+  const auto result = Campaign(cfg).run();
+  EXPECT_GT(result.snapshots, 0u);
+}
+
+TEST(MiniCampaignModes, ExhaustiveMatcherWorksAtSmallScale) {
+  CampaignConfig cfg;
+  cfg.runs = {{10, 1, 1}};
+  cfg.proteins_per_snapshot = 10;
+  cfg.match_policy = sched::MatchPolicy::kExhaustiveLowId;
+  cfg.seed = 7;
+  const auto result = Campaign(cfg).run();
+  EXPECT_GT(result.snapshots, 0u);
+}
+
+}  // namespace
+}  // namespace mummi::wm

@@ -1,0 +1,151 @@
+// Resilience integration tests (paper Sec. 4.4): node drains, job failures
+// with resubmission, checkpoint/restore of every stateful component, and a
+// campaign under elevated failure rates.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "continuum/gridsim2d.hpp"
+#include "datastore/red_store.hpp"
+#include "feedback/aa2cg.hpp"
+#include "util/checkpoint.hpp"
+#include "wm/campaign.hpp"
+#include "wm/workflow_manager.hpp"
+
+namespace mummi {
+namespace {
+
+TEST(Resilience, DrainedNodeKeepsRunningJobsButTakesNoNew) {
+  util::ManualClock clock;
+  sched::Scheduler scheduler(sched::ClusterSpec::summit(2),
+                             sched::MatchPolicy::kFirstMatch, clock);
+  // Load node 0 fully.
+  std::vector<sched::JobId> on_node0;
+  for (int i = 0; i < 6; ++i)
+    scheduler.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+  for (const auto id : scheduler.pump())
+    if (scheduler.job(id).alloc.slots[0].node == 0) on_node0.push_back(id);
+  ASSERT_FALSE(on_node0.empty());
+
+  // The node "fails": drain it. Running jobs keep their resources.
+  scheduler.drain_node(0);
+  EXPECT_EQ(scheduler.state(on_node0[0]), sched::JobState::kRunning);
+
+  // New work avoids the drained node entirely.
+  for (int i = 0; i < 6; ++i)
+    scheduler.submit(sched::JobSpec::gpu_sim("k", "cg_sim"));
+  for (const auto id : scheduler.pump())
+    EXPECT_EQ(scheduler.job(id).alloc.slots[0].node, 1);
+
+  // After repair, the node serves again.
+  for (const auto id : on_node0) scheduler.complete(id, false);
+  scheduler.undrain_node(0);
+  scheduler.submit(sched::JobSpec::gpu_sim("l", "cg_sim"));
+  const auto started = scheduler.pump();
+  ASSERT_FALSE(started.empty());
+  EXPECT_EQ(scheduler.job(started[0]).alloc.slots[0].node, 0);
+}
+
+TEST(Resilience, CampaignSurvivesElevatedFailureRates) {
+  wm::CampaignConfig cfg;
+  cfg.runs = {{30, 2, 1}};
+  cfg.proteins_per_snapshot = 20;
+  cfg.perf.createsim_mean_s = 900;
+  cfg.sim_failure_prob = 0.25;  // every fourth job crashes
+  cfg.seed = 3;
+  const auto result = wm::Campaign(cfg).run();
+  // The workflow keeps making progress despite the failures...
+  EXPECT_GT(result.patches_selected, 0u);
+  EXPECT_GT(result.cg_total_us, 0.0);
+  // ...and failed sims retain checkpointed progress (no negative/overshoot).
+  for (double len : result.cg_lengths_us) {
+    EXPECT_GE(len, 0.0);
+    EXPECT_LE(len, cfg.cg_max_us + 1e-9);
+  }
+}
+
+TEST(Resilience, ContinuumCheckpointIsArmored) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mummi_resil_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "continuum.ckpt").string();
+
+  cont::ContinuumConfig ccfg;
+  ccfg.grid = 16;
+  ccfg.extent = 32.0;
+  ccfg.inner_species = 2;
+  ccfg.outer_species = 1;
+  ccfg.n_proteins = 2;
+  cont::GridSim2D sim(ccfg);
+  sim.step(5);
+  util::CheckpointFile ckpt(path);
+  ckpt.save(sim.serialize());
+  sim.step(5);
+  ckpt.save(sim.serialize());  // newest state; previous rotates to .bak
+
+  // Torn write on the primary: restore falls back to the .bak (t = 0.25).
+  util::write_file(path, util::to_bytes("short"));
+  const auto payload = ckpt.load();
+  ASSERT_TRUE(payload.has_value());
+  cont::GridSim2D restored(ccfg);
+  restored.restore(*payload);
+  EXPECT_NEAR(restored.time_us(), 0.25, 1e-12);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Resilience, SelectorStateRoundTripsThroughCheckpointFile) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mummi_resil_sel_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  wm::PatchSelector selector(9, 5, 100);
+  std::vector<ml::HDPoint> pts;
+  for (int i = 0; i < 40; ++i) {
+    ml::HDPoint p;
+    p.id = static_cast<ml::PointId>(i + 1);
+    p.coords.assign(9, 0.25f * static_cast<float>(i % 7));
+    pts.push_back(std::move(p));
+  }
+  selector.add(2, pts);
+  (void)selector.select(6);
+
+  util::CheckpointFile ckpt((dir / "selector.ckpt").string());
+  ckpt.save(selector.serialize());
+
+  wm::PatchSelector restored(9, 5, 100);
+  restored.restore(*ckpt.load());
+  EXPECT_EQ(restored.candidate_count(), selector.candidate_count());
+  EXPECT_EQ(restored.selected_count(), selector.selected_count());
+  // Identical future behaviour.
+  for (int i = 0; i < 4; ++i) {
+    const auto a = selector.select(1);
+    const auto b = restored.select(1);
+    ASSERT_EQ(a.size(), b.size());
+    if (!a.empty()) EXPECT_EQ(a[0].point.id, b[0].point.id);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Resilience, ProducerConsumerDecoupling) {
+  // "if the data producer fails, the consumer components simply wait ...
+  // if a consumer fails, the unconsumed data simply aggregates."
+  auto store = std::make_shared<ds::RedStore>(2);
+  fb::Aa2CgConfig cfg;
+  cfg.pool_size = 2;
+  fb::AaToCgFeedback consumer(store, cfg);
+
+  // Consumer runs with no producer: clean no-op.
+  EXPECT_EQ(consumer.iterate().frames, 0u);
+
+  // Producer floods while the consumer is "down"; data aggregates.
+  for (int i = 0; i < 500; ++i)
+    store->put_text("ss-pending", "f" + std::to_string(i), "HHHC");
+  EXPECT_EQ(store->keys("ss-pending", "*").size(), 500u);
+
+  // Consumer comes back and drains everything in one iteration.
+  EXPECT_EQ(consumer.iterate().frames, 500u);
+  EXPECT_TRUE(store->keys("ss-pending", "*").empty());
+}
+
+}  // namespace
+}  // namespace mummi

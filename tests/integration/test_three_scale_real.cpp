@@ -1,0 +1,156 @@
+// Integration: the full three-scale pipeline with REAL physics at toy size.
+// Continuum DDFT -> snapshot -> patch -> ML selection -> createsim -> CG MD
+// with in-situ analysis -> frame selection -> backmapping -> AA MD with
+// secondary-structure analysis -> both feedback loops -> parameters applied
+// back to the continuum and the CG models.
+#include <gtest/gtest.h>
+
+#include "continuum/gridsim2d.hpp"
+#include "coupling/analysis.hpp"
+#include "coupling/backmap.hpp"
+#include "coupling/createsim.hpp"
+#include "coupling/encoders.hpp"
+#include "coupling/patch.hpp"
+#include "datastore/red_store.hpp"
+#include "feedback/aa2cg.hpp"
+#include "feedback/cg2cont.hpp"
+#include "mdengine/integrator.hpp"
+#include "mdengine/simulation.hpp"
+#include "ml/binned_sampler.hpp"
+#include "ml/fps_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace mummi {
+namespace {
+
+TEST(ThreeScaleReal, EndToEndPipeline) {
+  util::Rng rng(2026);
+
+  // --- Scale 1: continuum -------------------------------------------------
+  cont::ContinuumConfig ccfg;
+  ccfg.grid = 24;
+  ccfg.extent = 48.0;
+  ccfg.inner_species = 3;
+  ccfg.outer_species = 2;
+  ccfg.n_proteins = 4;
+  ccfg.seed = 5;
+  cont::GridSim2D continuum(ccfg);
+  continuum.step(10);
+  const cont::Snapshot snapshot = continuum.snapshot();
+  ASSERT_EQ(snapshot.proteins.size(), 4u);
+
+  // --- Task 1: patches ------------------------------------------------------
+  coupling::PatchCreator creator(13, 8.0);
+  std::uint64_t next_patch_id = 1;
+  const auto patches = creator.create(snapshot, next_patch_id);
+  ASSERT_EQ(patches.size(), 4u);
+
+  // --- Task 2: ML selection (9-D encoder + FPS) ----------------------------
+  coupling::PatchEncoder encoder(5, 77);
+  ml::FpsSampler selector(9, 1000);
+  std::vector<ml::HDPoint> candidates;
+  for (const auto& patch : patches)
+    candidates.push_back({patch.id, encoder.encode(patch)});
+  selector.add_candidates(candidates);
+  const auto picked = selector.select(1);
+  ASSERT_EQ(picked.size(), 1u);
+  const auto& patch = patches[picked[0].id - 1];
+
+  // --- createsim: continuum -> CG ------------------------------------------
+  coupling::CgBuildConfig bcfg;
+  bcfg.lipids_per_nm2 = 0.25;
+  bcfg.minimize_steps = 30;
+  bcfg.relax_steps = 10;
+  auto cg_info = coupling::CreateSim(bcfg).build(patch, rng);
+  ASSERT_GT(cg_info.system.size(), 20u);
+
+  // --- Scale 2: CG MD + in-situ analysis ------------------------------------
+  auto store = std::make_shared<ds::RedStore>(4);
+  coupling::CgAnalysis cg_analysis(cg_info, /*sim_id=*/1);
+  std::vector<coupling::CgFrameInfo> frames;
+  {
+    md::SimulationConfig scfg;
+    scfg.dt = 0.01;
+    scfg.frame_interval = 20;
+    md::Simulation cg_sim(cg_info.system,
+                          coupling::make_cg_forcefield(patch.n_species),
+                          std::make_unique<md::Langevin>(310.0, 2.0, rng.split()),
+                          scfg);
+    cg_sim.on_frame([&](const md::System& sys, long step, md::real) {
+      frames.push_back(cg_analysis.analyze(sys, step));
+    });
+    cg_sim.run(100);
+    ASSERT_EQ(frames.size(), 5u);
+
+    // Publish the accumulated RDFs for the CG->continuum feedback.
+    fb::FeedbackRecord record;
+    record.state = patch.center_state();
+    record.rdfs = cg_analysis.take_rdfs();
+    store->put("rdf-pending", "sim1", record.serialize());
+
+    // Continue from the CG simulation's final state for backmapping.
+    cg_info.system = cg_sim.system();
+  }
+
+  // --- CG -> continuum feedback ---------------------------------------------
+  fb::CgToContinuumFeedback cg_feedback(store, &continuum);
+  const auto fb_stats = cg_feedback.iterate();
+  EXPECT_EQ(fb_stats.frames, 1u);
+  EXPECT_EQ(cg_feedback.n_species(), 5);
+  continuum.step(2);  // keeps running with refreshed couplings
+
+  // --- Frame selection + backmapping: CG -> AA ------------------------------
+  ml::BinnedSampler frame_selector(
+      {{15, 30, 45, 60, 75}, {90, 180, 270}, {0.5f, 1.0f, 1.5f}}, 0.8, 3);
+  std::vector<ml::HDPoint> frame_candidates;
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    frame_candidates.push_back(
+        {static_cast<ml::PointId>(i + 1), frames[i].descriptor()});
+  frame_selector.add_candidates(frame_candidates);
+  ASSERT_FALSE(frame_selector.select(1).empty());
+
+  coupling::AaBuildConfig acfg;
+  acfg.minimize_steps = 25;
+  acfg.restrained_steps = 10;
+  const auto aa_info = coupling::Backmapper(acfg).build(cg_info, rng);
+  ASSERT_EQ(aa_info.system.size(), cg_info.system.size() * 4);
+
+  // --- Scale 3: AA MD + secondary-structure analysis ------------------------
+  coupling::AaAnalysis aa_analysis(aa_info.backbone, 1);
+  {
+    md::SimulationConfig scfg;
+    scfg.dt = 0.002;
+    scfg.frame_interval = 10;
+    md::Simulation aa_sim(aa_info.system, coupling::make_aa_forcefield(),
+                          std::make_unique<md::Langevin>(310.0, 5.0, rng.split()),
+                          scfg);
+    int published = 0;
+    aa_sim.on_frame([&](const md::System& sys, long step, md::real) {
+      store->put_text("ss-pending", "f" + std::to_string(step),
+                      aa_analysis.analyze(sys));
+      ++published;
+    });
+    aa_sim.run(30);
+    EXPECT_EQ(published, 3);
+  }
+
+  // --- AA -> CG feedback ------------------------------------------------------
+  fb::Aa2CgConfig fcfg;
+  fcfg.pool_size = 4;
+  fb::AaToCgFeedback aa_feedback(store, fcfg);
+  const auto aa_stats = aa_feedback.iterate();
+  EXPECT_EQ(aa_stats.frames, 3u);
+  EXPECT_EQ(aa_feedback.params().consensus.size(), aa_info.backbone.size());
+
+  // The refined CG parameters are consumable by the next createsim round.
+  const auto& params = aa_feedback.params();
+  for (std::size_t i = 0; i < params.consensus.size(); ++i)
+    EXPECT_GT(params.ktheta_for(i), 0.0);
+
+  // All pending namespaces drained (tagging).
+  EXPECT_TRUE(store->keys("rdf-pending", "*").empty());
+  EXPECT_TRUE(store->keys("ss-pending", "*").empty());
+}
+
+}  // namespace
+}  // namespace mummi

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datastore/red_store.hpp"
+#include "mdengine/gro.hpp"
+#include "mdengine/membrane_analysis.hpp"
+#include "mdengine/trajectory.hpp"
+#include "util/string_util.hpp"
+#include "util/rng.hpp"
+
+namespace mummi::md {
+namespace {
+
+System random_system(int n, std::uint64_t seed) {
+  System s;
+  s.box.length = {8, 9, 10};
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int idx = s.add_particle({rng.uniform(0.0, 8.0), rng.uniform(0.0, 9.0),
+                                    rng.uniform(0.0, 10.0)},
+                                   i % 3, 72.0, 0.0, i / 3);
+    s.vel[idx] = {0.1 * rng.normal(), 0.1 * rng.normal(), 0.1 * rng.normal()};
+  }
+  return s;
+}
+
+// --- trajectory -------------------------------------------------------------
+
+TEST(Trajectory, RoundTripWithinPrecision) {
+  const System s = random_system(200, 1);
+  const auto bytes = TrajectoryWriter::encode(s, 500, 10.0, 1e-3);
+  const auto frame = TrajectoryWriter::decode(bytes);
+  EXPECT_EQ(frame.step, 500);
+  EXPECT_DOUBLE_EQ(frame.time_ps, 10.0);
+  EXPECT_DOUBLE_EQ(frame.box.length.y, 9.0);
+  ASSERT_EQ(frame.positions.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Vec3 ref = s.box.wrap(s.pos[i]);
+    EXPECT_NEAR(frame.positions[i].x, ref.x, 5.01e-4);
+    EXPECT_NEAR(frame.positions[i].y, ref.y, 5.01e-4);
+    EXPECT_NEAR(frame.positions[i].z, ref.z, 5.01e-4);
+  }
+}
+
+TEST(Trajectory, QuantizationIsSmallerThanRaw) {
+  const System s = random_system(1000, 2);
+  const auto bytes = TrajectoryWriter::encode(s, 0, 0.0, 1e-3);
+  EXPECT_LT(bytes.size(), s.size() * 3 * 8);  // beats raw doubles
+  EXPECT_GT(bytes.size(), s.size() * 3 * 4 - 256);
+}
+
+TEST(Trajectory, WriterReaderThroughStore) {
+  auto store = std::make_shared<ds::RedStore>(2);
+  const System s = random_system(50, 3);
+  TrajectoryWriter writer(store, "sim7");
+  writer.write(s, 100, 2.0);
+  writer.write(s, 200, 4.0);
+  writer.write(s, 300, 6.0);
+  EXPECT_EQ(writer.frames_written(), 3u);
+
+  TrajectoryReader reader(store, "sim7");
+  EXPECT_EQ(reader.steps(), (std::vector<long>{100, 200, 300}));
+  const auto frame = reader.frame(200);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->step, 200);
+  EXPECT_DOUBLE_EQ(frame->time_ps, 4.0);
+  EXPECT_FALSE(reader.frame(999).has_value());
+}
+
+TEST(Trajectory, CoarserPrecisionConfigurable) {
+  const System s = random_system(20, 4);
+  const auto coarse = TrajectoryWriter::decode(
+      TrajectoryWriter::encode(s, 0, 0.0, 0.01));
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_NEAR(coarse.positions[i].x, s.box.wrap(s.pos[i]).x, 5.01e-3);
+}
+
+TEST(Trajectory, GarbageRejected) {
+  EXPECT_THROW(TrajectoryWriter::decode(util::to_bytes("nonsense")),
+               util::Error);
+}
+
+// --- gro --------------------------------------------------------------------
+
+TEST(Gro, WriteParseRoundTrip) {
+  const System s = random_system(25, 5);
+  GroNaming naming{{"POPC", "POPE", "CHOL"}};
+  const std::string text = write_gro(s, "test membrane", naming);
+  const GroFile gro = parse_gro(text);
+  EXPECT_EQ(gro.title, "test membrane");
+  ASSERT_EQ(gro.positions.size(), 25u);
+  EXPECT_EQ(gro.atom_names[0], "POPC");
+  EXPECT_EQ(gro.atom_names[1], "POPE");
+  EXPECT_EQ(gro.atom_names[2], "CHOL");
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_NEAR(gro.positions[i].x, s.pos[i].x, 5.1e-4);  // %8.3f columns
+    EXPECT_NEAR(gro.velocities[i].z, s.vel[i].z, 5.1e-5);
+  }
+  EXPECT_NEAR(gro.box.length.z, 10.0, 1e-9);
+}
+
+TEST(Gro, FixedColumnLayout) {
+  System s;
+  s.box.length = {1, 1, 1};
+  s.add_particle({0.5, 0.5, 0.5}, 0, 1.0);
+  const auto lines = util::split(write_gro(s, "t", {{"W"}}), '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[1], "    1");
+  EXPECT_EQ(lines[2].size(), 68u);  // 44 + 24 velocity columns
+  EXPECT_EQ(lines[2].substr(0, 5), "    1");
+}
+
+TEST(Gro, UnknownTypeGetsPlaceholderName) {
+  System s;
+  s.box.length = {1, 1, 1};
+  s.add_particle({0, 0, 0}, 7, 1.0);
+  const auto gro = parse_gro(write_gro(s, "t", {{"A"}}));
+  EXPECT_EQ(gro.atom_names[0], "X7");
+}
+
+TEST(Gro, MalformedRejected) {
+  EXPECT_THROW(parse_gro("just one line"), util::FormatError);
+  EXPECT_THROW(parse_gro("title\n    5\nshort\n"), util::FormatError);
+}
+
+// --- membrane analysis -------------------------------------------------------
+
+TEST(MembraneAnalysis, DensityProfilePeaksAtSlabs) {
+  System s;
+  s.box.length = {10, 10, 10};
+  std::vector<int> sel;
+  for (int i = 0; i < 100; ++i)
+    sel.push_back(s.add_particle({i * 0.1, i * 0.05, 2.5}, 0, 1.0));
+  for (int i = 0; i < 50; ++i)
+    sel.push_back(s.add_particle({i * 0.2, i * 0.1, 7.5}, 0, 1.0));
+  const auto profile = z_density_profile(s, sel, 4);
+  EXPECT_GT(profile[1], profile[0]);
+  EXPECT_GT(profile[1], 2.0 * profile[3] - 1e-12);  // 100 vs 50
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);
+  // Integral recovers the count.
+  const double slab_volume = 10.0 * 10.0 * 2.5;
+  double total = 0;
+  for (double v : profile) total += v * slab_volume;
+  EXPECT_NEAR(total, 150.0, 1e-9);
+}
+
+TEST(MembraneAnalysis, OrderParameterLimits) {
+  System s;
+  s.box.length = {20, 20, 20};
+  const int a = s.add_particle({5, 5, 5}, 0, 1.0);
+  const int up = s.add_particle({5, 5, 7}, 0, 1.0);
+  const int side = s.add_particle({7, 5, 5}, 0, 1.0);
+  EXPECT_DOUBLE_EQ(order_parameter(s, {{a, up}}), 1.0);
+  EXPECT_DOUBLE_EQ(order_parameter(s, {{a, side}}), -0.5);
+  EXPECT_NEAR(order_parameter(s, {{a, up}, {a, side}}), 0.25, 1e-12);
+}
+
+TEST(MembraneAnalysis, RandomVectorsNearZero) {
+  System s;
+  s.box.length = {100, 100, 100};
+  util::Rng rng(9);
+  std::vector<std::pair<int, int>> vectors;
+  for (int i = 0; i < 4000; ++i) {
+    const int a = s.add_particle({50, 50, 50}, 0, 1.0);
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    dir *= 1.0 / dir.norm();
+    const int b = s.add_particle(s.box.wrap(s.pos[a] + dir), 0, 1.0);
+    vectors.emplace_back(a, b);
+  }
+  EXPECT_NEAR(order_parameter(s, vectors), 0.0, 0.05);
+}
+
+TEST(MembraneAnalysis, CenterOfMassWeighted) {
+  System s;
+  s.box.length = {10, 10, 10};
+  const int light = s.add_particle({0, 0, 2}, 0, 1.0);
+  const int heavy = s.add_particle({0, 0, 8}, 0, 3.0);
+  const Vec3 com = center_of_mass(s, {light, heavy});
+  EXPECT_DOUBLE_EQ(com.z, 6.5);
+}
+
+TEST(MembraneAnalysis, BilayerThickness) {
+  System s;
+  s.box.length = {10, 10, 10};
+  std::vector<int> inner, outer;
+  for (int i = 0; i < 10; ++i) {
+    inner.push_back(s.add_particle({1.0 * i, 0, 4.0}, 0, 1.0));
+    outer.push_back(s.add_particle({1.0 * i, 0, 7.0}, 0, 1.0));
+  }
+  EXPECT_DOUBLE_EQ(bilayer_thickness(s, inner, outer), 3.0);
+}
+
+}  // namespace
+}  // namespace mummi::md

@@ -1,0 +1,179 @@
+#include "ml/fps_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mummi::ml {
+namespace {
+
+std::vector<HDPoint> grid_points(int per_side, float spacing = 1.0f) {
+  std::vector<HDPoint> out;
+  PointId id = 1;
+  for (int i = 0; i < per_side; ++i)
+    for (int j = 0; j < per_side; ++j)
+      out.push_back({id++, {i * spacing, j * spacing}});
+  return out;
+}
+
+TEST(FpsSampler, AddThenCount) {
+  FpsSampler fps(2, 1000);
+  fps.add_candidates(grid_points(5));
+  EXPECT_EQ(fps.candidate_count(), 25u);
+  EXPECT_EQ(fps.selected_count(), 0u);
+}
+
+TEST(FpsSampler, SelectRemovesFromPool) {
+  FpsSampler fps(2, 1000);
+  fps.add_candidates(grid_points(5));
+  const auto picked = fps.select(3);
+  EXPECT_EQ(picked.size(), 3u);
+  EXPECT_EQ(fps.candidate_count(), 22u);
+  EXPECT_EQ(fps.selected_count(), 3u);
+}
+
+TEST(FpsSampler, SelectMoreThanAvailable) {
+  FpsSampler fps(2, 1000);
+  fps.add_candidates(grid_points(2));  // 4 points
+  const auto picked = fps.select(10);
+  EXPECT_EQ(picked.size(), 4u);
+  EXPECT_TRUE(fps.select(1).empty());
+}
+
+TEST(FpsSampler, NoDuplicateSelections) {
+  FpsSampler fps(2, 1000);
+  fps.add_candidates(grid_points(6));
+  std::set<PointId> seen;
+  for (int round = 0; round < 6; ++round)
+    for (const auto& p : fps.select(5))
+      EXPECT_TRUE(seen.insert(p.id).second) << p.id;
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(FpsSampler, FarthestPointSpreadsSelections) {
+  // On a line of points, successive selections must jump to the far end
+  // rather than pick neighbors of the first pick.
+  FpsSampler fps(1, 1000);
+  std::vector<HDPoint> line;
+  for (int i = 0; i < 101; ++i)
+    line.push_back({static_cast<PointId>(i), {static_cast<float>(i)}});
+  fps.add_candidates(line);
+  const auto first = fps.select(1);
+  const float x0 = first[0].coords[0];
+  const auto second = fps.select(1);
+  // Second pick is an extreme end, at least 50 away from the first.
+  EXPECT_GE(std::abs(second[0].coords[0] - x0), 50.0f);
+  const auto third = fps.select(1);
+  // Third pick lands near the middle of the largest gap.
+  const float lo = std::min(x0, second[0].coords[0]);
+  const float hi = std::max(x0, second[0].coords[0]);
+  EXPECT_GT(third[0].coords[0], lo + 20.0f);
+  EXPECT_LT(third[0].coords[0], hi - 20.0f);
+}
+
+TEST(FpsSampler, RankIsDistanceToNearestSelected) {
+  FpsSampler fps(2, 1000);
+  fps.add_candidates({{1, {0, 0}}, {2, {10, 0}}, {3, {3, 0}}});
+  // First selection takes an infinite-rank candidate (lowest id on ties).
+  const auto first = fps.select(1);
+  EXPECT_EQ(first[0].id, 1u);
+  fps.update_ranks();
+  EXPECT_FLOAT_EQ(fps.rank_of(2), 10.0f);
+  EXPECT_FLOAT_EQ(fps.rank_of(3), 3.0f);
+}
+
+TEST(FpsSampler, LazyAdditionIsCheapRankedAtSelect) {
+  FpsSampler fps(2, 100000);
+  fps.add_candidates(grid_points(10));
+  fps.select(1);
+  // New additions pile up unranked until the next selection touches them.
+  fps.add_candidates(grid_points(10, 5.0f));
+  EXPECT_EQ(fps.candidate_count(), 199u);
+  const auto picked = fps.select(1);
+  EXPECT_FALSE(picked.empty());
+}
+
+TEST(FpsSampler, CapacityEvictsLeastNovel) {
+  FpsSampler fps(2, 10);
+  // One far-away anchor selected first so ranks are finite.
+  fps.add_candidates({{999, {100, 100}}});
+  fps.select(1);
+  // 20 candidates at increasing distance from the anchor; capacity keeps the
+  // 10 most novel = the 10 farthest from (100, 100).
+  std::vector<HDPoint> pts;
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({static_cast<PointId>(i + 1),
+                   {static_cast<float>(5 * i), 0.0f}});
+  fps.add_candidates(pts);
+  fps.update_ranks();
+  EXPECT_EQ(fps.candidate_count(), 10u);
+  // Far-from-anchor means small x here... the nearest-to-anchor candidates
+  // (large x ~ (95,0) is closest to (100,100)) were evicted.
+  const auto picked = fps.select(10);
+  for (const auto& p : picked) EXPECT_LE(p.coords[0], 50.0f);
+}
+
+TEST(FpsSampler, DeterministicTieBreakByLowestId) {
+  FpsSampler a(2, 100), b(2, 100);
+  const auto pts = grid_points(4);
+  a.add_candidates(pts);
+  b.add_candidates(pts);
+  for (int i = 0; i < 16; ++i) {
+    const auto pa = a.select(1);
+    const auto pb = b.select(1);
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_EQ(pa[0].id, pb[0].id);
+  }
+}
+
+TEST(FpsSampler, HistoryRecordsOps) {
+  FpsSampler fps(2, 100);
+  fps.add_candidates(grid_points(3));
+  fps.select(2);
+  const auto& history = fps.history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].op, 'A');
+  EXPECT_EQ(history[0].ids.size(), 9u);
+  EXPECT_EQ(history[1].op, 'S');
+  EXPECT_EQ(history[1].ids.size(), 2u);
+}
+
+TEST(FpsSampler, HistoryCanBeDisabled) {
+  FpsSampler fps(2, 100);
+  fps.set_history_enabled(false);
+  fps.add_candidates(grid_points(3));
+  fps.select(1);
+  EXPECT_TRUE(fps.history().empty());
+}
+
+TEST(FpsSampler, SerializeRoundTripPreservesBehaviour) {
+  FpsSampler a(2, 1000);
+  a.add_candidates(grid_points(8));
+  a.select(5);
+  FpsSampler b = FpsSampler::deserialize(a.serialize());
+  EXPECT_EQ(b.candidate_count(), a.candidate_count());
+  EXPECT_EQ(b.selected_count(), a.selected_count());
+  // Future selections agree: the restored sampler has the same selected set
+  // and candidate ranks.
+  for (int i = 0; i < 10; ++i) {
+    const auto pa = a.select(1);
+    const auto pb = b.select(1);
+    ASSERT_EQ(pa.empty(), pb.empty());
+    if (!pa.empty()) EXPECT_EQ(pa[0].id, pb[0].id);
+  }
+}
+
+TEST(FpsSampler, DimensionMismatchRejected) {
+  FpsSampler fps(3, 10);
+  EXPECT_THROW(fps.add_candidates({{1, {1.0f, 2.0f}}}), util::Error);
+}
+
+TEST(FpsSampler, InvalidConstructionRejected) {
+  EXPECT_THROW(FpsSampler(0, 10), util::Error);
+  EXPECT_THROW(FpsSampler(3, 0), util::Error);
+}
+
+}  // namespace
+}  // namespace mummi::ml

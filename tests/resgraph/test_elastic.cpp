@@ -1,0 +1,102 @@
+// Elastic allocations and nested instances — the Sec. 6 outlook features.
+#include <gtest/gtest.h>
+
+#include "resgraph/matcher.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mummi::sched {
+namespace {
+
+TEST(Elastic, ExpandAddsFreeNodes) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  graph.expand(3);
+  EXPECT_EQ(graph.n_nodes(), 5);
+  EXPECT_EQ(graph.total_free_gpus(), 30);
+  EXPECT_EQ(graph.total_free_cores(), 220);
+  EXPECT_TRUE(graph.core_free(4, 43));
+  EXPECT_EQ(graph.n_vertices(), 1u + 5u * 53u);
+}
+
+TEST(Elastic, MatchersUseNewNodesImmediately) {
+  ResourceGraph graph(ClusterSpec::summit(1));
+  FirstMatchMatcher m;
+  Request req;
+  req.slot = Slot{3, 1};
+  for (int i = 0; i < 6; ++i) graph.allocate(*m.match(graph, req));
+  EXPECT_FALSE(m.match(graph, req).has_value());
+  graph.expand(1);
+  const auto alloc = m.match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->slots[0].node, 1);
+}
+
+TEST(Elastic, ShrinkOnlyWhenIdle) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  Allocation alloc;
+  alloc.slots.push_back(NodeAlloc{1, {0}, {0}});
+  graph.allocate(alloc);
+  EXPECT_FALSE(graph.shrink());  // node 1 busy
+  graph.release(alloc);
+  EXPECT_TRUE(graph.shrink());
+  EXPECT_EQ(graph.n_nodes(), 1);
+  EXPECT_FALSE(graph.shrink());  // never below one node
+}
+
+TEST(Elastic, SchedulerGrowsMidRun) {
+  util::ManualClock clock;
+  Scheduler scheduler(ClusterSpec::summit(1), MatchPolicy::kFirstMatch, clock);
+  for (int i = 0; i < 12; ++i)
+    scheduler.submit(JobSpec::gpu_sim("j", "cg_sim"));
+  EXPECT_EQ(scheduler.pump().size(), 6u);  // one node's worth
+  scheduler.graph().expand(1);
+  EXPECT_EQ(scheduler.pump().size(), 6u);  // the rest land on the new node
+  EXPECT_EQ(scheduler.running_count(), 12u);
+}
+
+TEST(Subinstance, SpecFromUniformAllocation) {
+  // The continuum job's 150 x 24-core grant becomes a child machine.
+  ResourceGraph graph(ClusterSpec::summit(8));
+  FirstMatchMatcher m;
+  Request req;
+  req.slot = Slot{24, 0};
+  req.nslots = 8;
+  req.one_slot_per_node = true;
+  const auto alloc = m.match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  const auto child = subinstance_spec(*alloc);
+  EXPECT_EQ(child.nodes, 8);
+  EXPECT_EQ(child.cores_per_node(), 24);
+  EXPECT_EQ(child.gpus_per_node, 0);
+
+  // A full scheduler can run inside the nested instance.
+  util::ManualClock clock;
+  Scheduler nested(child, MatchPolicy::kFirstMatch, clock);
+  for (int i = 0; i < 8; ++i)
+    nested.submit(JobSpec::cpu_setup("rank", "mpi_rank", 24));
+  EXPECT_EQ(nested.pump().size(), 8u);
+  EXPECT_EQ(nested.graph().total_free_cores(), 0);
+}
+
+TEST(Subinstance, GpuSlotsBecomeGpuNodes) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  FirstMatchMatcher m;
+  Request req;
+  req.slot = Slot{3, 1};
+  req.nslots = 6;
+  const auto alloc = m.match(graph, req);
+  const auto child = subinstance_spec(*alloc);
+  EXPECT_EQ(child.nodes, 6);
+  EXPECT_EQ(child.cores_per_node(), 3);
+  EXPECT_EQ(child.gpus_per_node, 1);
+}
+
+TEST(Subinstance, NonUniformRejected) {
+  Allocation alloc;
+  alloc.slots.push_back(NodeAlloc{0, {0, 1}, {}});
+  alloc.slots.push_back(NodeAlloc{1, {0, 1, 2}, {}});
+  EXPECT_THROW((void)subinstance_spec(alloc), util::Error);
+  EXPECT_THROW((void)subinstance_spec(Allocation{}), util::Error);
+}
+
+}  // namespace
+}  // namespace mummi::sched

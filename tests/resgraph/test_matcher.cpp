@@ -1,0 +1,233 @@
+#include "resgraph/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mummi::sched {
+namespace {
+
+// Both policies must satisfy the same functional contract; they differ only
+// in traversal cost.
+class MatcherContract : public ::testing::TestWithParam<MatchPolicy> {
+ protected:
+  [[nodiscard]] std::unique_ptr<Matcher> matcher() const {
+    return make_matcher(GetParam());
+  }
+};
+
+TEST_P(MatcherContract, PlacesSingleGpuJob) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{3, 1};
+  const auto alloc = m->match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  ASSERT_EQ(alloc->slots.size(), 1u);
+  EXPECT_EQ(alloc->slots[0].cores.size(), 3u);
+  EXPECT_EQ(alloc->slots[0].gpus.size(), 1u);
+}
+
+TEST_P(MatcherContract, MatchDoesNotClaim) {
+  ResourceGraph graph(ClusterSpec::summit(1));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{1, 1};
+  (void)m->match(graph, req);
+  EXPECT_EQ(graph.used_cores(), 0);
+  EXPECT_EQ(graph.used_gpus(), 0);
+}
+
+TEST_P(MatcherContract, SaturatesGpusExactly) {
+  ResourceGraph graph(ClusterSpec::summit(2));  // 12 GPUs total
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{3, 1};
+  for (int i = 0; i < 12; ++i) {
+    const auto alloc = m->match(graph, req);
+    ASSERT_TRUE(alloc.has_value()) << i;
+    graph.allocate(*alloc);
+  }
+  EXPECT_FALSE(m->match(graph, req).has_value());
+  EXPECT_EQ(graph.used_gpus(), 12);
+}
+
+TEST_P(MatcherContract, NoOverlappingAllocations) {
+  ResourceGraph graph(ClusterSpec::summit(4));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{2, 1};
+  std::set<std::pair<int, int>> gpus_seen;
+  std::set<std::pair<int, int>> cores_seen;
+  for (int i = 0; i < 24; ++i) {
+    const auto alloc = m->match(graph, req);
+    ASSERT_TRUE(alloc.has_value());
+    for (const auto& slot : alloc->slots) {
+      for (int g : slot.gpus)
+        EXPECT_TRUE(gpus_seen.emplace(slot.node, g).second);
+      for (int c : slot.cores)
+        EXPECT_TRUE(cores_seen.emplace(slot.node, c).second);
+    }
+    graph.allocate(*alloc);
+  }
+}
+
+TEST_P(MatcherContract, MultiSlotRequestWithinOneCall) {
+  ResourceGraph graph(ClusterSpec::summit(3));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{2, 2};
+  req.nslots = 7;
+  const auto alloc = m->match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->slots.size(), 7u);
+  int gpus = 0;
+  for (const auto& slot : alloc->slots)
+    gpus += static_cast<int>(slot.gpus.size());
+  EXPECT_EQ(gpus, 14);
+}
+
+TEST_P(MatcherContract, OneSlotPerNodeSpreads) {
+  // The continuum job: "150 nodes, each with 24 cores".
+  ResourceGraph graph(ClusterSpec::summit(8));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{24, 0};
+  req.nslots = 8;
+  req.one_slot_per_node = true;
+  const auto alloc = m->match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  std::set<int> nodes;
+  for (const auto& slot : alloc->slots) nodes.insert(slot.node);
+  EXPECT_EQ(nodes.size(), 8u);
+}
+
+TEST_P(MatcherContract, OneSlotPerNodeFailsWhenTooFewNodes) {
+  ResourceGraph graph(ClusterSpec::summit(4));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{24, 0};
+  req.nslots = 5;
+  req.one_slot_per_node = true;
+  EXPECT_FALSE(m->match(graph, req).has_value());
+}
+
+TEST_P(MatcherContract, SkipsDrainedNodes) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  graph.drain(0);
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{1, 1};
+  for (int i = 0; i < 6; ++i) {  // node 1 has exactly 6 GPUs
+    const auto alloc = m->match(graph, req);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->slots[0].node, 1);
+    graph.allocate(*alloc);
+  }
+  EXPECT_FALSE(m->match(graph, req).has_value());
+}
+
+TEST_P(MatcherContract, OversizedSlotNeverFits) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{45, 0};  // a Summit node has 44 cores
+  EXPECT_FALSE(m->match(graph, req).has_value());
+}
+
+TEST_P(MatcherContract, CpuOnlyJobLeavesGpusFree) {
+  ResourceGraph graph(ClusterSpec::summit(1));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{24, 0};
+  const auto alloc = m->match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_TRUE(alloc->slots[0].gpus.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MatcherContract,
+                         ::testing::Values(MatchPolicy::kExhaustiveLowId,
+                                           MatchPolicy::kFirstMatch),
+                         [](const auto& info) {
+                           return info.param == MatchPolicy::kExhaustiveLowId
+                                      ? "exhaustive"
+                                      : "firstmatch";
+                         });
+
+TEST(MatcherCost, ExhaustiveVisitsWholeGraphPerCall) {
+  ResourceGraph graph(ClusterSpec::summit(100));
+  ExhaustiveMatcher m;
+  Request req;
+  req.slot = Slot{3, 1};
+  for (int i = 0; i < 10; ++i) {
+    const auto alloc = m.match(graph, req);
+    graph.allocate(*alloc);
+  }
+  EXPECT_EQ(m.visits(), 10u * graph.n_vertices());
+}
+
+TEST(MatcherCost, FirstMatchCostIndependentOfGraphSize) {
+  Request req;
+  req.slot = Slot{3, 1};
+  std::uint64_t visits_small = 0, visits_large = 0;
+  {
+    ResourceGraph graph(ClusterSpec::summit(10));
+    FirstMatchMatcher m;
+    for (int i = 0; i < 10; ++i) graph.allocate(*m.match(graph, req));
+    visits_small = m.visits();
+  }
+  {
+    ResourceGraph graph(ClusterSpec::summit(1000));
+    FirstMatchMatcher m;
+    for (int i = 0; i < 10; ++i) graph.allocate(*m.match(graph, req));
+    visits_large = m.visits();
+  }
+  // Two orders of magnitude more nodes, nearly identical traversal cost.
+  EXPECT_LT(visits_large, visits_small * 3);
+}
+
+TEST(MatcherCost, SpeedupIsOrdersOfMagnitude) {
+  // The shape behind the paper's 670x matcher result, at reduced scale.
+  ResourceGraph g1(ClusterSpec::summit(200));
+  ResourceGraph g2(ClusterSpec::summit(200));
+  ExhaustiveMatcher slow;
+  FirstMatchMatcher fast;
+  Request req;
+  req.slot = Slot{3, 1};
+  const int jobs = 200 * 6;
+  for (int i = 0; i < jobs; ++i) {
+    g1.allocate(*slow.match(g1, req));
+    g2.allocate(*fast.match(g2, req));
+  }
+  EXPECT_GT(slow.visits() / std::max<std::uint64_t>(fast.visits(), 1), 100u);
+}
+
+TEST(MatcherCost, ResetVisits) {
+  ResourceGraph graph(ClusterSpec::laptop());
+  FirstMatchMatcher m;
+  Request req;
+  req.slot = Slot{1, 0};
+  (void)m.match(graph, req);
+  EXPECT_GT(m.visits(), 0u);
+  m.reset_visits();
+  EXPECT_EQ(m.visits(), 0u);
+}
+
+TEST(FirstMatchMatcher, CursorRecyclesFreedNodes) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  FirstMatchMatcher m;
+  Request req;
+  req.slot = Slot{1, 1};
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 12; ++i) {
+    allocs.push_back(*m.match(graph, req));
+    graph.allocate(allocs.back());
+  }
+  graph.release(allocs[0]);
+  const auto again = m.match(graph, req);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->slots[0].node, 0);
+}
+
+}  // namespace
+}  // namespace mummi::sched

@@ -1,0 +1,87 @@
+#include "resgraph/resource_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mummi::sched {
+namespace {
+
+TEST(ClusterSpec, SummitShape) {
+  const auto spec = ClusterSpec::summit(4608);
+  EXPECT_EQ(spec.nodes, 4608);
+  EXPECT_EQ(spec.cores_per_node(), 44);
+  EXPECT_EQ(spec.gpus_per_node, 6);
+}
+
+TEST(ClusterSpec, SierraShape) {
+  const auto spec = ClusterSpec::sierra(100);
+  EXPECT_EQ(spec.gpus_per_node, 4);
+  EXPECT_EQ(spec.cores_per_node(), 44);
+}
+
+TEST(ResourceGraph, VertexCountMatchesHierarchy) {
+  // cluster + per node: node + 2 sockets + 44 cores + 6 gpus = 53.
+  ResourceGraph graph(ClusterSpec::summit(10));
+  EXPECT_EQ(graph.n_vertices(), 1u + 10u * 53u);
+}
+
+TEST(ResourceGraph, FreshGraphFullyFree) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  EXPECT_EQ(graph.total_free_cores(), 88);
+  EXPECT_EQ(graph.total_free_gpus(), 12);
+  EXPECT_EQ(graph.used_cores(), 0);
+  EXPECT_EQ(graph.used_gpus(), 0);
+  EXPECT_TRUE(graph.core_free(0, 0));
+  EXPECT_TRUE(graph.gpu_free(1, 5));
+}
+
+TEST(ResourceGraph, AllocateReleaseConservation) {
+  ResourceGraph graph(ClusterSpec::summit(2));
+  Allocation alloc;
+  alloc.slots.push_back(NodeAlloc{0, {0, 1, 2}, {0}});
+  alloc.slots.push_back(NodeAlloc{1, {5}, {2, 3}});
+  graph.allocate(alloc);
+  EXPECT_EQ(graph.used_cores(), 4);
+  EXPECT_EQ(graph.used_gpus(), 3);
+  EXPECT_FALSE(graph.core_free(0, 1));
+  EXPECT_FALSE(graph.gpu_free(1, 3));
+  EXPECT_EQ(graph.free_cores(0), 41);
+  EXPECT_EQ(graph.free_gpus(1), 4);
+  graph.release(alloc);
+  EXPECT_EQ(graph.used_cores(), 0);
+  EXPECT_EQ(graph.used_gpus(), 0);
+  EXPECT_TRUE(graph.core_free(0, 1));
+}
+
+TEST(ResourceGraph, DoubleAllocationRejected) {
+  ResourceGraph graph(ClusterSpec::laptop());
+  Allocation alloc;
+  alloc.slots.push_back(NodeAlloc{0, {0}, {}});
+  graph.allocate(alloc);
+  EXPECT_THROW(graph.allocate(alloc), util::Error);
+}
+
+TEST(ResourceGraph, ReleaseOfFreeRejected) {
+  ResourceGraph graph(ClusterSpec::laptop());
+  Allocation alloc;
+  alloc.slots.push_back(NodeAlloc{0, {0}, {}});
+  EXPECT_THROW(graph.release(alloc), util::Error);
+}
+
+TEST(ResourceGraph, DrainFlagging) {
+  ResourceGraph graph(ClusterSpec::summit(3));
+  EXPECT_FALSE(graph.drained(1));
+  graph.drain(1);
+  EXPECT_TRUE(graph.drained(1));
+  graph.undrain(1);
+  EXPECT_FALSE(graph.drained(1));
+}
+
+TEST(ResourceGraph, InvalidSpecRejected) {
+  EXPECT_THROW(ResourceGraph(ClusterSpec{0, 2, 22, 6}), util::Error);
+  EXPECT_THROW(ResourceGraph(ClusterSpec{1, 0, 22, 6}), util::Error);
+}
+
+}  // namespace
+}  // namespace mummi::sched

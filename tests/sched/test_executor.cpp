@@ -1,0 +1,140 @@
+#include "sched/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace mummi::sched {
+namespace {
+
+Job make_job(const std::string& type, double est = 1.0,
+             std::uint64_t payload = 0) {
+  Job job;
+  job.id = 1;
+  job.spec.type = type;
+  job.spec.est_duration = est;
+  job.spec.payload = payload;
+  return job;
+}
+
+TEST(PayloadRegistry, RegisterAndLookup) {
+  PayloadRegistry registry;
+  registry.register_type("t", [](const Job&) { return true; });
+  EXPECT_TRUE(registry.has("t"));
+  EXPECT_FALSE(registry.has("u"));
+  EXPECT_TRUE(registry.payload_for("t")(make_job("t")));
+  EXPECT_THROW(registry.payload_for("u"), util::Error);
+}
+
+TEST(InlineExecutor, RunsSynchronously) {
+  PayloadRegistry registry;
+  int runs = 0;
+  registry.register_type("t", [&](const Job&) {
+    ++runs;
+    return true;
+  });
+  InlineExecutor exec(std::move(registry));
+  bool result = false;
+  exec.launch(make_job("t"), [&](bool ok) { result = ok; });
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(result);
+}
+
+TEST(InlineExecutor, PayloadExceptionBecomesFailure) {
+  PayloadRegistry registry;
+  registry.register_type("t", [](const Job&) -> bool {
+    throw std::runtime_error("sim crashed");
+  });
+  InlineExecutor exec(std::move(registry));
+  bool result = true;
+  exec.launch(make_job("t"), [&](bool ok) { result = ok; });
+  EXPECT_FALSE(result);
+}
+
+TEST(InlineExecutor, PayloadReturningFalseFails) {
+  PayloadRegistry registry;
+  registry.register_type("t", [](const Job&) { return false; });
+  InlineExecutor exec(std::move(registry));
+  bool result = true;
+  exec.launch(make_job("t"), [&](bool ok) { result = ok; });
+  EXPECT_FALSE(result);
+}
+
+TEST(ThreadExecutor, RunsOnPoolAndCompletes) {
+  util::ThreadPool pool(2);
+  PayloadRegistry registry;
+  registry.register_type("t", [](const Job& job) { return job.spec.payload == 7; });
+  ThreadExecutor exec(pool, std::move(registry));
+  std::atomic<int> completions{0};
+  std::atomic<int> successes{0};
+  for (int i = 0; i < 10; ++i)
+    exec.launch(make_job("t", 1.0, static_cast<std::uint64_t>(i)),
+                [&](bool ok) {
+                  ++completions;
+                  if (ok) ++successes;
+                });
+  pool.wait_idle();
+  EXPECT_EQ(completions.load(), 10);
+  EXPECT_EQ(successes.load(), 1);  // only payload==7
+}
+
+TEST(SimExecutor, CompletesAtModeledTime) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(1));
+  double done_at = -1;
+  exec.launch(make_job("t", 42.0), [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = engine.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 42.0);
+}
+
+TEST(SimExecutor, DurationModelOverridesEstimate) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(1));
+  exec.set_duration_model([](const Job& job) {
+    return static_cast<double>(job.spec.payload) * 2.0;
+  });
+  double done_at = -1;
+  exec.launch(make_job("t", 99.0, 5), [&](bool) { done_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST(SimExecutor, FailureProbabilityApplies) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(3), 0.5);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i)
+    exec.launch(make_job("t", 1.0), [&](bool ok) {
+      if (!ok) ++failures;
+    });
+  engine.run();
+  EXPECT_GT(failures, 60);
+  EXPECT_LT(failures, 140);
+}
+
+TEST(SimExecutor, ZeroFailureProbAlwaysSucceeds) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(3), 0.0);
+  int failures = 0;
+  for (int i = 0; i < 50; ++i)
+    exec.launch(make_job("t", 1.0), [&](bool ok) {
+      if (!ok) ++failures;
+    });
+  engine.run();
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(SimExecutor, NegativeDurationRejected) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(1));
+  exec.set_duration_model([](const Job&) { return -1.0; });
+  EXPECT_THROW(exec.launch(make_job("t"), [](bool) {}), util::Error);
+}
+
+}  // namespace
+}  // namespace mummi::sched

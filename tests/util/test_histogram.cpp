@@ -1,0 +1,75 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mummi::util {
+namespace {
+
+TEST(Histogram, BinsValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, Weights) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.75, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, Centers) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.center(4), 9.0);
+}
+
+TEST(Histogram, FractionAtLeast) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 80; ++i) h.add(99.0);
+  for (int i = 0; i < 20; ++i) h.add(1.0);
+  EXPECT_NEAR(h.fraction_at_least(90.0), 0.8, 1e-12);
+  EXPECT_NEAR(h.fraction_at_least(0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFraction) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(0.5), 0.0);
+}
+
+TEST(Histogram, AsciiRendersEveryBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 4);
+  h.add(2.5, 2);
+  const std::string art = h.ascii(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find("####"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace mummi::util

@@ -1,0 +1,81 @@
+#include "util/npy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace mummi::util {
+namespace {
+
+TEST(Npy, F32RoundTrip) {
+  const auto a =
+      NpyArray::from_f32({2, 3}, {1.f, 2.f, 3.f, 4.f, 5.f, 6.f});
+  const auto b = npy_decode(npy_encode(a));
+  EXPECT_EQ(b.dtype, NpyType::kF32);
+  EXPECT_EQ(b.shape, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(b.f32, a.f32);
+}
+
+TEST(Npy, F64RoundTrip) {
+  const auto a = NpyArray::from_f64({4}, {1.5, -2.5, 3.25, 0.0});
+  const auto b = npy_decode(npy_encode(a));
+  EXPECT_EQ(b.dtype, NpyType::kF64);
+  EXPECT_EQ(b.shape, (std::vector<std::size_t>{4}));
+  EXPECT_EQ(b.f64, a.f64);
+}
+
+TEST(Npy, I64RoundTrip) {
+  const auto a = NpyArray::from_i64({2, 2}, {-1, 2, -3, 4});
+  const auto b = npy_decode(npy_encode(a));
+  EXPECT_EQ(b.i64, a.i64);
+}
+
+TEST(Npy, ThreeDimensional) {
+  std::vector<float> data(2 * 3 * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  const auto b = npy_decode(npy_encode(NpyArray::from_f32({2, 3, 4}, data)));
+  EXPECT_EQ(b.shape, (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_EQ(b.f32, data);
+}
+
+TEST(Npy, ScalarShape) {
+  const auto b = npy_decode(npy_encode(NpyArray::from_f64({1}, {3.14})));
+  EXPECT_EQ(b.element_count(), 1u);
+  EXPECT_DOUBLE_EQ(b.f64[0], 3.14);
+}
+
+TEST(Npy, HeaderIsSpecCompliant) {
+  const auto bytes = npy_encode(NpyArray::from_f32({5}, {1, 2, 3, 4, 5}));
+  ASSERT_GE(bytes.size(), 10u);
+  EXPECT_EQ(std::memcmp(bytes.data(), "\x93NUMPY", 6), 0);
+  EXPECT_EQ(bytes[6], 1);  // version 1.0
+  EXPECT_EQ(bytes[7], 0);
+  std::uint16_t hlen;
+  std::memcpy(&hlen, bytes.data() + 8, 2);
+  // Total header block 64-byte aligned, newline-terminated.
+  EXPECT_EQ((10u + hlen) % 64, 0u);
+  EXPECT_EQ(bytes[9 + hlen], '\n');
+  const std::string header(reinterpret_cast<const char*>(bytes.data() + 10),
+                           hlen);
+  EXPECT_NE(header.find("'descr': '<f4'"), std::string::npos);
+  EXPECT_NE(header.find("'fortran_order': False"), std::string::npos);
+  EXPECT_NE(header.find("(5,)"), std::string::npos);
+}
+
+TEST(Npy, ShapeDataMismatchRejected) {
+  EXPECT_THROW(NpyArray::from_f32({3}, {1.f}), Error);
+}
+
+TEST(Npy, GarbageRejected) {
+  EXPECT_THROW(npy_decode(to_bytes("not an npy file at all")), FormatError);
+  EXPECT_THROW(npy_decode(Bytes{}), FormatError);
+}
+
+TEST(Npy, TruncatedDataRejected) {
+  auto bytes = npy_encode(NpyArray::from_f64({8}, std::vector<double>(8, 1.0)));
+  bytes.resize(bytes.size() - 16);
+  EXPECT_THROW(npy_decode(bytes), FormatError);
+}
+
+}  // namespace
+}  // namespace mummi::util

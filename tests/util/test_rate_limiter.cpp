@@ -1,0 +1,67 @@
+#include "util/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi::util {
+namespace {
+
+TEST(RateLimiter, AdmitsBurstThenBlocks) {
+  RateLimiter limiter(10.0, 5.0);  // 10/s, burst 5
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(limiter.try_acquire(0.0)) << i;
+  EXPECT_FALSE(limiter.try_acquire(0.0));
+}
+
+TEST(RateLimiter, RefillsAtRate) {
+  RateLimiter limiter(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) limiter.try_acquire(0.0);
+  EXPECT_FALSE(limiter.try_acquire(0.05));  // only 0.5 tokens back
+  EXPECT_TRUE(limiter.try_acquire(0.1));    // 1 token back
+  EXPECT_FALSE(limiter.try_acquire(0.1));
+}
+
+TEST(RateLimiter, BurstCapsAccumulation) {
+  RateLimiter limiter(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(limiter.available(1000.0), 10.0);  // capped at burst
+}
+
+TEST(RateLimiter, SustainedRateIsHonored) {
+  // The paper's ~100 jobs/min throttle.
+  RateLimiter limiter(100.0 / 60.0, 10.0);
+  int admitted = 0;
+  for (int tick = 0; tick < 600; ++tick) {  // 10 minutes, 1 s steps
+    while (limiter.try_acquire(static_cast<double>(tick))) ++admitted;
+  }
+  EXPECT_NEAR(admitted, 1000 + 10, 12);  // ~100/min plus the initial burst
+}
+
+TEST(RateLimiter, NextAdmissionPredicts) {
+  RateLimiter limiter(2.0, 1.0);
+  EXPECT_TRUE(limiter.try_acquire(0.0));
+  const double t = limiter.next_admission(0.0);
+  EXPECT_NEAR(t, 0.5, 1e-12);
+  EXPECT_FALSE(limiter.try_acquire(t - 0.01));
+  EXPECT_TRUE(limiter.try_acquire(t));
+}
+
+TEST(RateLimiter, MultiTokenOperations) {
+  RateLimiter limiter(1.0, 4.0);
+  EXPECT_TRUE(limiter.try_acquire(0.0, 4.0));
+  EXPECT_FALSE(limiter.try_acquire(0.0, 1.0));
+  EXPECT_NEAR(limiter.next_admission(0.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(RateLimiter, TimeNeverRunsBackward) {
+  RateLimiter limiter(10.0, 1.0);
+  EXPECT_TRUE(limiter.try_acquire(5.0));
+  // An earlier timestamp must not mint tokens.
+  EXPECT_FALSE(limiter.try_acquire(1.0));
+}
+
+TEST(RateLimiter, InvalidConfigRejected) {
+  EXPECT_THROW(RateLimiter(0.0), Error);
+  EXPECT_THROW(RateLimiter(-1.0), Error);
+  EXPECT_THROW(RateLimiter(1.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace mummi::util

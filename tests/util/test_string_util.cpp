@@ -1,0 +1,72 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi::util {
+namespace {
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("cg_sim-42", "cg_sim"));
+  EXPECT_FALSE(starts_with("cg", "cg_sim"));
+  EXPECT_TRUE(ends_with("patch.npy", ".npy"));
+  EXPECT_FALSE(ends_with("npy", "patch.npy"));
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool expect;
+};
+
+class GlobMatch : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatch, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.expect)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobMatch,
+    ::testing::Values(
+        GlobCase{"*", "anything", true}, GlobCase{"*", "", true},
+        GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+        GlobCase{"a?c", "abc", true}, GlobCase{"a?c", "ac", false},
+        GlobCase{"rdf-*", "rdf-123", true}, GlobCase{"rdf-*", "ss-123", false},
+        GlobCase{"*-done", "frame-42-done", true},
+        GlobCase{"*42*", "frame-42-done", true},
+        GlobCase{"*42*", "frame-43-done", false},
+        GlobCase{"a*b*c", "axxbyyc", true}, GlobCase{"a*b*c", "axxcyyb", false},
+        GlobCase{"", "", true}, GlobCase{"", "x", false},
+        GlobCase{"**", "x", true}, GlobCase{"?", "", false}));
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(2048), "2.0 KB");
+  EXPECT_EQ(human_bytes(374e6), "356.7 MB");
+}
+
+}  // namespace
+}  // namespace mummi::util

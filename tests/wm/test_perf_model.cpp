@@ -1,0 +1,110 @@
+#include "wm/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace mummi::wm {
+namespace {
+
+TEST(PerfModel, ContinuumReferenceRate) {
+  const PerfModel model;
+  // 3600 cores -> ~0.96 ms/day (paper Sec. 4.1).
+  EXPECT_NEAR(model.continuum_ms_per_day(3600), 0.96, 1e-9);
+  // Fewer cores scale down sublinearly.
+  const double half = model.continuum_ms_per_day(1800);
+  EXPECT_LT(half, 0.96);
+  EXPECT_GT(half, 0.96 / 2.0);
+}
+
+TEST(PerfModel, CgSampleCalibration) {
+  const PerfModel model;
+  util::Rng rng(1);
+  util::RunningStats rate, size;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = model.sample_cg(rng, false);
+    rate.add(s.us_per_day);
+    size.add(s.particles);
+  }
+  // ~1.04 us/day/GPU at ~140k particles.
+  EXPECT_NEAR(rate.mean(), 1.04, 0.02);
+  EXPECT_NEAR(size.mean(), 140000, 500);
+  EXPECT_GT(size.stddev(), 500);
+  // Slow tail exists but the bulk is tight.
+  EXPECT_LT(rate.min(), 0.95);
+}
+
+TEST(PerfModel, CgDegradedEpisodeIsSlower) {
+  // The incompatible-MPI episode: ~20% below benchmark.
+  const PerfModel model;
+  util::Rng rng(2);
+  util::RunningStats normal, degraded;
+  for (int i = 0; i < 3000; ++i) {
+    normal.add(model.sample_cg(rng, false).us_per_day);
+    degraded.add(model.sample_cg(rng, true).us_per_day);
+  }
+  EXPECT_NEAR(degraded.mean() / normal.mean(), 0.80, 0.02);
+}
+
+TEST(PerfModel, AaSampleCalibration) {
+  const PerfModel model;
+  util::Rng rng(3);
+  util::RunningStats rate, size;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = model.sample_aa(rng);
+    rate.add(s.ns_per_day);
+    size.add(s.atoms);
+  }
+  EXPECT_NEAR(rate.mean(), 13.98, 0.2);
+  EXPECT_NEAR(size.mean(), 1.575e6, 5e3);
+}
+
+TEST(PerfModel, RatesConvertToPerSecond) {
+  const PerfModel model;
+  util::Rng rng(4);
+  const auto cg = model.sample_cg(rng, false);
+  EXPECT_NEAR(cg.us_per_second() * 86400.0, cg.us_per_day, 1e-12);
+  const auto aa = model.sample_aa(rng);
+  EXPECT_NEAR(aa.ns_per_second() * 86400.0, aa.ns_per_day, 1e-12);
+}
+
+TEST(PerfModel, SetupDurationsCalibrated) {
+  const PerfModel model;
+  util::Rng rng(5);
+  util::RunningStats createsim, backmap;
+  for (int i = 0; i < 20000; ++i) {
+    createsim.add(model.sample_createsim_seconds(rng));
+    backmap.add(model.sample_backmap_seconds(rng));
+  }
+  // ~1.5 h and ~2 h means with lognormal spread; all positive.
+  EXPECT_NEAR(createsim.mean(), 5400, 200);
+  EXPECT_NEAR(backmap.mean(), 7200, 250);
+  EXPECT_GT(createsim.min(), 0.0);
+  EXPECT_GT(createsim.stddev(), 500.0);
+}
+
+TEST(RateModel, PaperNumbers) {
+  const RateModel rates;
+  // A few spot checks that the calibration constants match Sec. 4.1.
+  EXPECT_DOUBLE_EQ(rates.continuum_snapshot_bytes, 374e6);
+  EXPECT_DOUBLE_EQ(rates.continuum_snapshot_interval_s, 90);
+  EXPECT_DOUBLE_EQ(rates.cg_frame_interval_s, 41.5);
+  EXPECT_DOUBLE_EQ(rates.frame_id_bytes, 850);
+  EXPECT_DOUBLE_EQ(rates.aa_frame_interval_s, 618);
+}
+
+TEST(DataLedger, TotalsAndPersistedSplit) {
+  DataLedger ledger;
+  ledger.bytes_continuum = 100;
+  ledger.bytes_patches = 50;
+  ledger.bytes_cg_frames = 1000;  // RAM disk
+  ledger.bytes_cg_analysis = 10;
+  ledger.bytes_aa_frames = 500;  // RAM disk
+  ledger.bytes_backmap = 340;
+  EXPECT_DOUBLE_EQ(ledger.bytes_total(), 2000);
+  EXPECT_DOUBLE_EQ(ledger.bytes_persisted(),
+                   100 + 50 + 10 + 340 * (0.5 / 3.4) + 0.10 * 1500);
+}
+
+}  // namespace
+}  // namespace mummi::wm

@@ -1,0 +1,85 @@
+#include "wm/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi::wm {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest()
+      : scheduler_(sched::ClusterSpec::summit(2), sched::MatchPolicy::kFirstMatch,
+                   clock_) {}
+
+  util::ManualClock clock_;
+  sched::Scheduler scheduler_;
+  Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, EmptyMachineZeroOccupancy) {
+  profiler_.sample(0.0, scheduler_);
+  ASSERT_EQ(profiler_.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(profiler_.events()[0].gpu_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(profiler_.events()[0].cpu_occupancy, 0.0);
+}
+
+TEST_F(ProfilerTest, OccupancyFractionsExact) {
+  // 2 Summit nodes: 12 GPUs, 88 cores. Start 6 jobs of 1 GPU + 2 cores.
+  for (int i = 0; i < 6; ++i)
+    scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim", 2));
+  scheduler_.pump();
+  profiler_.sample(600.0, scheduler_);
+  const auto& e = profiler_.events().back();
+  EXPECT_DOUBLE_EQ(e.gpu_occupancy, 0.5);
+  EXPECT_DOUBLE_EQ(e.cpu_occupancy, 12.0 / 88.0);
+  EXPECT_EQ(e.running_by_type.at("cg_sim"), 6);
+  EXPECT_DOUBLE_EQ(e.time, 600.0);
+}
+
+TEST_F(ProfilerTest, PendingTracked) {
+  for (int i = 0; i < 15; ++i)  // only 12 fit
+    scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+  scheduler_.pump();
+  profiler_.sample(0.0, scheduler_);
+  EXPECT_EQ(profiler_.events()[0].pending_by_type.at("cg_sim"), 3);
+}
+
+TEST_F(ProfilerTest, FractionAtLeastAndStats) {
+  // Fabricate a profile: 83% of events at 99% GPU, 17% at 40%.
+  for (int i = 0; i < 83; ++i) {
+    for (int g = 0; g < 12; ++g)
+      scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+    const auto started = scheduler_.pump();
+    profiler_.sample(i, scheduler_);
+    for (auto id : started) scheduler_.complete(id, true);
+  }
+  for (int i = 0; i < 17; ++i) {
+    for (int g = 0; g < 5; ++g)
+      scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+    const auto started = scheduler_.pump();
+    profiler_.sample(100 + i, scheduler_);
+    for (auto id : started) scheduler_.complete(id, true);
+  }
+  EXPECT_NEAR(profiler_.fraction_gpu_at_least(0.98), 0.83, 1e-9);
+  EXPECT_NEAR(profiler_.median_gpu_occupancy(), 1.0, 1e-9);
+  EXPECT_NEAR(profiler_.mean_gpu_occupancy(), 0.83 * 1.0 + 0.17 * 5.0 / 12.0,
+              1e-9);
+}
+
+TEST_F(ProfilerTest, HistogramsMassMatchesEvents) {
+  profiler_.sample(0, scheduler_);
+  profiler_.sample(1, scheduler_);
+  const auto h = profiler_.gpu_histogram(10);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);  // all at 0%
+}
+
+TEST_F(ProfilerTest, ClearResets) {
+  profiler_.sample(0, scheduler_);
+  profiler_.clear();
+  EXPECT_TRUE(profiler_.events().empty());
+  EXPECT_DOUBLE_EQ(profiler_.fraction_gpu_at_least(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace mummi::wm
