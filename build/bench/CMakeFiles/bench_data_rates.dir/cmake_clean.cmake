@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_rates.dir/bench_data_rates.cpp.o"
+  "CMakeFiles/bench_data_rates.dir/bench_data_rates.cpp.o.d"
+  "bench_data_rates"
+  "bench_data_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

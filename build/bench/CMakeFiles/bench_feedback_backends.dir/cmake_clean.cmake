@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedback_backends.dir/bench_feedback_backends.cpp.o"
+  "CMakeFiles/bench_feedback_backends.dir/bench_feedback_backends.cpp.o.d"
+  "bench_feedback_backends"
+  "bench_feedback_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedback_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sim_lengths.dir/bench_fig3_sim_lengths.cpp.o"
+  "CMakeFiles/bench_fig3_sim_lengths.dir/bench_fig3_sim_lengths.cpp.o.d"
+  "bench_fig3_sim_lengths"
+  "bench_fig3_sim_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sim_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_occupancy.cpp" "bench/CMakeFiles/bench_fig5_occupancy.dir/bench_fig5_occupancy.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_occupancy.dir/bench_fig5_occupancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wm/CMakeFiles/mummi_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/mummi_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/mummi_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/coupling/CMakeFiles/mummi_coupling.dir/DependInfo.cmake"
+  "/root/repo/build/src/continuum/CMakeFiles/mummi_continuum.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdengine/CMakeFiles/mummi_mdengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mummi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mummi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/resgraph/CMakeFiles/mummi_resgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/mummi_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_job_rampup.dir/bench_fig6_job_rampup.cpp.o"
+  "CMakeFiles/bench_fig6_job_rampup.dir/bench_fig6_job_rampup.cpp.o.d"
+  "bench_fig6_job_rampup"
+  "bench_fig6_job_rampup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_job_rampup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

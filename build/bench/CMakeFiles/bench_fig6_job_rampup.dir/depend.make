@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_job_rampup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_aa_feedback.dir/bench_fig8_aa_feedback.cpp.o"
+  "CMakeFiles/bench_fig8_aa_feedback.dir/bench_fig8_aa_feedback.cpp.o.d"
+  "bench_fig8_aa_feedback"
+  "bench_fig8_aa_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_aa_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_selectors.dir/bench_ml_selectors.cpp.o"
+  "CMakeFiles/bench_ml_selectors.dir/bench_ml_selectors.cpp.o.d"
+  "bench_ml_selectors"
+  "bench_ml_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_matcher.dir/bench_sched_matcher.cpp.o"
+  "CMakeFiles/bench_sched_matcher.dir/bench_sched_matcher.cpp.o.d"
+  "bench_sched_matcher"
+  "bench_sched_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

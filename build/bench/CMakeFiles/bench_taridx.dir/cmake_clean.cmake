@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taridx.dir/bench_taridx.cpp.o"
+  "CMakeFiles/bench_taridx.dir/bench_taridx.cpp.o.d"
+  "bench_taridx"
+  "bench_taridx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taridx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

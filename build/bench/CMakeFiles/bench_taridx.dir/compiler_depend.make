@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_taridx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastore_tour.dir/datastore_tour.cpp.o"
+  "CMakeFiles/datastore_tour.dir/datastore_tour.cpp.o.d"
+  "datastore_tour"
+  "datastore_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastore_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_workflow.dir/persistent_workflow.cpp.o"
+  "CMakeFiles/persistent_workflow.dir/persistent_workflow.cpp.o.d"
+  "persistent_workflow"
+  "persistent_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_scale_campaign.dir/three_scale_campaign.cpp.o"
+  "CMakeFiles/three_scale_campaign.dir/three_scale_campaign.cpp.o.d"
+  "three_scale_campaign"
+  "three_scale_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_scale_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

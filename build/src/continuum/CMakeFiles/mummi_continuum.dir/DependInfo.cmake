@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/continuum/grid2d.cpp" "src/continuum/CMakeFiles/mummi_continuum.dir/grid2d.cpp.o" "gcc" "src/continuum/CMakeFiles/mummi_continuum.dir/grid2d.cpp.o.d"
+  "/root/repo/src/continuum/gridsim2d.cpp" "src/continuum/CMakeFiles/mummi_continuum.dir/gridsim2d.cpp.o" "gcc" "src/continuum/CMakeFiles/mummi_continuum.dir/gridsim2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_continuum.dir/grid2d.cpp.o"
+  "CMakeFiles/mummi_continuum.dir/grid2d.cpp.o.d"
+  "CMakeFiles/mummi_continuum.dir/gridsim2d.cpp.o"
+  "CMakeFiles/mummi_continuum.dir/gridsim2d.cpp.o.d"
+  "libmummi_continuum.a"
+  "libmummi_continuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_continuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

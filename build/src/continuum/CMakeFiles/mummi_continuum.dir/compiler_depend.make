@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mummi_continuum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mummi_continuum.
+# This may be replaced when dependencies are built.

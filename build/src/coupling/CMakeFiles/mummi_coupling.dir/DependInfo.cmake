@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coupling/analysis.cpp" "src/coupling/CMakeFiles/mummi_coupling.dir/analysis.cpp.o" "gcc" "src/coupling/CMakeFiles/mummi_coupling.dir/analysis.cpp.o.d"
+  "/root/repo/src/coupling/backmap.cpp" "src/coupling/CMakeFiles/mummi_coupling.dir/backmap.cpp.o" "gcc" "src/coupling/CMakeFiles/mummi_coupling.dir/backmap.cpp.o.d"
+  "/root/repo/src/coupling/createsim.cpp" "src/coupling/CMakeFiles/mummi_coupling.dir/createsim.cpp.o" "gcc" "src/coupling/CMakeFiles/mummi_coupling.dir/createsim.cpp.o.d"
+  "/root/repo/src/coupling/encoders.cpp" "src/coupling/CMakeFiles/mummi_coupling.dir/encoders.cpp.o" "gcc" "src/coupling/CMakeFiles/mummi_coupling.dir/encoders.cpp.o.d"
+  "/root/repo/src/coupling/patch.cpp" "src/coupling/CMakeFiles/mummi_coupling.dir/patch.cpp.o" "gcc" "src/coupling/CMakeFiles/mummi_coupling.dir/patch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/continuum/CMakeFiles/mummi_continuum.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdengine/CMakeFiles/mummi_mdengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mummi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/mummi_datastore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

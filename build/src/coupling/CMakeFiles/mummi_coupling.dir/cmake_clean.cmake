@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_coupling.dir/analysis.cpp.o"
+  "CMakeFiles/mummi_coupling.dir/analysis.cpp.o.d"
+  "CMakeFiles/mummi_coupling.dir/backmap.cpp.o"
+  "CMakeFiles/mummi_coupling.dir/backmap.cpp.o.d"
+  "CMakeFiles/mummi_coupling.dir/createsim.cpp.o"
+  "CMakeFiles/mummi_coupling.dir/createsim.cpp.o.d"
+  "CMakeFiles/mummi_coupling.dir/encoders.cpp.o"
+  "CMakeFiles/mummi_coupling.dir/encoders.cpp.o.d"
+  "CMakeFiles/mummi_coupling.dir/patch.cpp.o"
+  "CMakeFiles/mummi_coupling.dir/patch.cpp.o.d"
+  "libmummi_coupling.a"
+  "libmummi_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datastore/data_store.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/data_store.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/data_store.cpp.o.d"
+  "/root/repo/src/datastore/fs_store.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/fs_store.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/fs_store.cpp.o.d"
+  "/root/repo/src/datastore/kv_cluster.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/kv_cluster.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/kv_cluster.cpp.o.d"
+  "/root/repo/src/datastore/red_store.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/red_store.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/red_store.cpp.o.d"
+  "/root/repo/src/datastore/store_factory.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/store_factory.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/store_factory.cpp.o.d"
+  "/root/repo/src/datastore/tar_store.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/tar_store.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/tar_store.cpp.o.d"
+  "/root/repo/src/datastore/taridx.cpp" "src/datastore/CMakeFiles/mummi_datastore.dir/taridx.cpp.o" "gcc" "src/datastore/CMakeFiles/mummi_datastore.dir/taridx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

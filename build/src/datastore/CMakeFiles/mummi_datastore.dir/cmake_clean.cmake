@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_datastore.dir/data_store.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/data_store.cpp.o.d"
+  "CMakeFiles/mummi_datastore.dir/fs_store.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/fs_store.cpp.o.d"
+  "CMakeFiles/mummi_datastore.dir/kv_cluster.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/kv_cluster.cpp.o.d"
+  "CMakeFiles/mummi_datastore.dir/red_store.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/red_store.cpp.o.d"
+  "CMakeFiles/mummi_datastore.dir/store_factory.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/store_factory.cpp.o.d"
+  "CMakeFiles/mummi_datastore.dir/tar_store.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/tar_store.cpp.o.d"
+  "CMakeFiles/mummi_datastore.dir/taridx.cpp.o"
+  "CMakeFiles/mummi_datastore.dir/taridx.cpp.o.d"
+  "libmummi_datastore.a"
+  "libmummi_datastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_event.dir/sim_engine.cpp.o"
+  "CMakeFiles/mummi_event.dir/sim_engine.cpp.o.d"
+  "libmummi_event.a"
+  "libmummi_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_feedback.dir/aa2cg.cpp.o"
+  "CMakeFiles/mummi_feedback.dir/aa2cg.cpp.o.d"
+  "CMakeFiles/mummi_feedback.dir/cg2cont.cpp.o"
+  "CMakeFiles/mummi_feedback.dir/cg2cont.cpp.o.d"
+  "libmummi_feedback.a"
+  "libmummi_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdengine/cell_list.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/cell_list.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/cell_list.cpp.o.d"
+  "/root/repo/src/mdengine/force_field.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/force_field.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/force_field.cpp.o.d"
+  "/root/repo/src/mdengine/gro.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/gro.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/gro.cpp.o.d"
+  "/root/repo/src/mdengine/integrator.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/integrator.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/integrator.cpp.o.d"
+  "/root/repo/src/mdengine/membrane_analysis.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/membrane_analysis.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/membrane_analysis.cpp.o.d"
+  "/root/repo/src/mdengine/rdf.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/rdf.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/rdf.cpp.o.d"
+  "/root/repo/src/mdengine/secondary_structure.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/secondary_structure.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/secondary_structure.cpp.o.d"
+  "/root/repo/src/mdengine/simulation.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/simulation.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/simulation.cpp.o.d"
+  "/root/repo/src/mdengine/system.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/system.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/system.cpp.o.d"
+  "/root/repo/src/mdengine/trajectory.cpp" "src/mdengine/CMakeFiles/mummi_mdengine.dir/trajectory.cpp.o" "gcc" "src/mdengine/CMakeFiles/mummi_mdengine.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/mummi_datastore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_mdengine.dir/cell_list.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/cell_list.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/force_field.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/force_field.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/gro.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/gro.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/integrator.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/integrator.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/membrane_analysis.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/membrane_analysis.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/rdf.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/rdf.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/secondary_structure.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/secondary_structure.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/simulation.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/simulation.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/system.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/system.cpp.o.d"
+  "CMakeFiles/mummi_mdengine.dir/trajectory.cpp.o"
+  "CMakeFiles/mummi_mdengine.dir/trajectory.cpp.o.d"
+  "libmummi_mdengine.a"
+  "libmummi_mdengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_mdengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/ann_index.cpp" "src/ml/CMakeFiles/mummi_ml.dir/ann_index.cpp.o" "gcc" "src/ml/CMakeFiles/mummi_ml.dir/ann_index.cpp.o.d"
+  "/root/repo/src/ml/binned_sampler.cpp" "src/ml/CMakeFiles/mummi_ml.dir/binned_sampler.cpp.o" "gcc" "src/ml/CMakeFiles/mummi_ml.dir/binned_sampler.cpp.o.d"
+  "/root/repo/src/ml/fps_sampler.cpp" "src/ml/CMakeFiles/mummi_ml.dir/fps_sampler.cpp.o" "gcc" "src/ml/CMakeFiles/mummi_ml.dir/fps_sampler.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/mummi_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/mummi_ml.dir/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

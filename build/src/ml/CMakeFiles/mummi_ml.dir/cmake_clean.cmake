@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_ml.dir/ann_index.cpp.o"
+  "CMakeFiles/mummi_ml.dir/ann_index.cpp.o.d"
+  "CMakeFiles/mummi_ml.dir/binned_sampler.cpp.o"
+  "CMakeFiles/mummi_ml.dir/binned_sampler.cpp.o.d"
+  "CMakeFiles/mummi_ml.dir/fps_sampler.cpp.o"
+  "CMakeFiles/mummi_ml.dir/fps_sampler.cpp.o.d"
+  "CMakeFiles/mummi_ml.dir/mlp.cpp.o"
+  "CMakeFiles/mummi_ml.dir/mlp.cpp.o.d"
+  "libmummi_ml.a"
+  "libmummi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_resgraph.dir/matcher.cpp.o"
+  "CMakeFiles/mummi_resgraph.dir/matcher.cpp.o.d"
+  "CMakeFiles/mummi_resgraph.dir/resource_graph.cpp.o"
+  "CMakeFiles/mummi_resgraph.dir/resource_graph.cpp.o.d"
+  "libmummi_resgraph.a"
+  "libmummi_resgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_resgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

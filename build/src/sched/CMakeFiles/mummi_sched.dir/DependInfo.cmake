@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/executor.cpp" "src/sched/CMakeFiles/mummi_sched.dir/executor.cpp.o" "gcc" "src/sched/CMakeFiles/mummi_sched.dir/executor.cpp.o.d"
+  "/root/repo/src/sched/queue_manager.cpp" "src/sched/CMakeFiles/mummi_sched.dir/queue_manager.cpp.o" "gcc" "src/sched/CMakeFiles/mummi_sched.dir/queue_manager.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/mummi_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mummi_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/mummi_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/resgraph/CMakeFiles/mummi_resgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_sched.dir/executor.cpp.o"
+  "CMakeFiles/mummi_sched.dir/executor.cpp.o.d"
+  "CMakeFiles/mummi_sched.dir/queue_manager.cpp.o"
+  "CMakeFiles/mummi_sched.dir/queue_manager.cpp.o.d"
+  "CMakeFiles/mummi_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mummi_sched.dir/scheduler.cpp.o.d"
+  "libmummi_sched.a"
+  "libmummi_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_util.dir/bytes.cpp.o"
+  "CMakeFiles/mummi_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/checkpoint.cpp.o"
+  "CMakeFiles/mummi_util.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/config.cpp.o"
+  "CMakeFiles/mummi_util.dir/config.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/histogram.cpp.o"
+  "CMakeFiles/mummi_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/log.cpp.o"
+  "CMakeFiles/mummi_util.dir/log.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/npy.cpp.o"
+  "CMakeFiles/mummi_util.dir/npy.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/string_util.cpp.o"
+  "CMakeFiles/mummi_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/mummi_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mummi_util.dir/thread_pool.cpp.o.d"
+  "libmummi_util.a"
+  "libmummi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmummi_util.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mummi_wm.dir/campaign.cpp.o"
+  "CMakeFiles/mummi_wm.dir/campaign.cpp.o.d"
+  "CMakeFiles/mummi_wm.dir/job_tracker.cpp.o"
+  "CMakeFiles/mummi_wm.dir/job_tracker.cpp.o.d"
+  "CMakeFiles/mummi_wm.dir/perf_model.cpp.o"
+  "CMakeFiles/mummi_wm.dir/perf_model.cpp.o.d"
+  "CMakeFiles/mummi_wm.dir/profiler.cpp.o"
+  "CMakeFiles/mummi_wm.dir/profiler.cpp.o.d"
+  "CMakeFiles/mummi_wm.dir/selectors.cpp.o"
+  "CMakeFiles/mummi_wm.dir/selectors.cpp.o.d"
+  "CMakeFiles/mummi_wm.dir/workflow_manager.cpp.o"
+  "CMakeFiles/mummi_wm.dir/workflow_manager.cpp.o.d"
+  "libmummi_wm.a"
+  "libmummi_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mummi_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/continuum/test_grid2d.cpp" "tests/CMakeFiles/mummi_tests.dir/continuum/test_grid2d.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/continuum/test_grid2d.cpp.o.d"
+  "/root/repo/tests/continuum/test_gridsim2d.cpp" "tests/CMakeFiles/mummi_tests.dir/continuum/test_gridsim2d.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/continuum/test_gridsim2d.cpp.o.d"
+  "/root/repo/tests/coupling/test_analysis.cpp" "tests/CMakeFiles/mummi_tests.dir/coupling/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/coupling/test_analysis.cpp.o.d"
+  "/root/repo/tests/coupling/test_backmap.cpp" "tests/CMakeFiles/mummi_tests.dir/coupling/test_backmap.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/coupling/test_backmap.cpp.o.d"
+  "/root/repo/tests/coupling/test_createsim.cpp" "tests/CMakeFiles/mummi_tests.dir/coupling/test_createsim.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/coupling/test_createsim.cpp.o.d"
+  "/root/repo/tests/coupling/test_encoders.cpp" "tests/CMakeFiles/mummi_tests.dir/coupling/test_encoders.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/coupling/test_encoders.cpp.o.d"
+  "/root/repo/tests/coupling/test_patch.cpp" "tests/CMakeFiles/mummi_tests.dir/coupling/test_patch.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/coupling/test_patch.cpp.o.d"
+  "/root/repo/tests/datastore/test_kv_cluster.cpp" "tests/CMakeFiles/mummi_tests.dir/datastore/test_kv_cluster.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/datastore/test_kv_cluster.cpp.o.d"
+  "/root/repo/tests/datastore/test_stores.cpp" "tests/CMakeFiles/mummi_tests.dir/datastore/test_stores.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/datastore/test_stores.cpp.o.d"
+  "/root/repo/tests/datastore/test_taridx.cpp" "tests/CMakeFiles/mummi_tests.dir/datastore/test_taridx.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/datastore/test_taridx.cpp.o.d"
+  "/root/repo/tests/event/test_sim_engine.cpp" "tests/CMakeFiles/mummi_tests.dir/event/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/event/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/feedback/test_aa2cg.cpp" "tests/CMakeFiles/mummi_tests.dir/feedback/test_aa2cg.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/feedback/test_aa2cg.cpp.o.d"
+  "/root/repo/tests/feedback/test_cg2cont.cpp" "tests/CMakeFiles/mummi_tests.dir/feedback/test_cg2cont.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/feedback/test_cg2cont.cpp.o.d"
+  "/root/repo/tests/integration/test_mini_campaign.cpp" "tests/CMakeFiles/mummi_tests.dir/integration/test_mini_campaign.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/integration/test_mini_campaign.cpp.o.d"
+  "/root/repo/tests/integration/test_resilience.cpp" "tests/CMakeFiles/mummi_tests.dir/integration/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/integration/test_resilience.cpp.o.d"
+  "/root/repo/tests/integration/test_three_scale_real.cpp" "tests/CMakeFiles/mummi_tests.dir/integration/test_three_scale_real.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/integration/test_three_scale_real.cpp.o.d"
+  "/root/repo/tests/mdengine/test_analysis.cpp" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_analysis.cpp.o.d"
+  "/root/repo/tests/mdengine/test_integrator.cpp" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_integrator.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_integrator.cpp.o.d"
+  "/root/repo/tests/mdengine/test_io_formats.cpp" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_io_formats.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_io_formats.cpp.o.d"
+  "/root/repo/tests/mdengine/test_md_core.cpp" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_md_core.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_md_core.cpp.o.d"
+  "/root/repo/tests/mdengine/test_simulation.cpp" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/mdengine/test_simulation.cpp.o.d"
+  "/root/repo/tests/ml/test_ann_index.cpp" "tests/CMakeFiles/mummi_tests.dir/ml/test_ann_index.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/ml/test_ann_index.cpp.o.d"
+  "/root/repo/tests/ml/test_binned_sampler.cpp" "tests/CMakeFiles/mummi_tests.dir/ml/test_binned_sampler.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/ml/test_binned_sampler.cpp.o.d"
+  "/root/repo/tests/ml/test_fps_sampler.cpp" "tests/CMakeFiles/mummi_tests.dir/ml/test_fps_sampler.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/ml/test_fps_sampler.cpp.o.d"
+  "/root/repo/tests/ml/test_mlp.cpp" "tests/CMakeFiles/mummi_tests.dir/ml/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/ml/test_mlp.cpp.o.d"
+  "/root/repo/tests/ml/test_replay.cpp" "tests/CMakeFiles/mummi_tests.dir/ml/test_replay.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/ml/test_replay.cpp.o.d"
+  "/root/repo/tests/property/test_properties.cpp" "tests/CMakeFiles/mummi_tests.dir/property/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/property/test_properties.cpp.o.d"
+  "/root/repo/tests/resgraph/test_elastic.cpp" "tests/CMakeFiles/mummi_tests.dir/resgraph/test_elastic.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/resgraph/test_elastic.cpp.o.d"
+  "/root/repo/tests/resgraph/test_matcher.cpp" "tests/CMakeFiles/mummi_tests.dir/resgraph/test_matcher.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/resgraph/test_matcher.cpp.o.d"
+  "/root/repo/tests/resgraph/test_resource_graph.cpp" "tests/CMakeFiles/mummi_tests.dir/resgraph/test_resource_graph.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/resgraph/test_resource_graph.cpp.o.d"
+  "/root/repo/tests/sched/test_executor.cpp" "tests/CMakeFiles/mummi_tests.dir/sched/test_executor.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/sched/test_executor.cpp.o.d"
+  "/root/repo/tests/sched/test_queue_manager.cpp" "tests/CMakeFiles/mummi_tests.dir/sched/test_queue_manager.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/sched/test_queue_manager.cpp.o.d"
+  "/root/repo/tests/sched/test_scheduler.cpp" "tests/CMakeFiles/mummi_tests.dir/sched/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/sched/test_scheduler.cpp.o.d"
+  "/root/repo/tests/util/test_bytes.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_bytes.cpp.o.d"
+  "/root/repo/tests/util/test_checkpoint.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/util/test_config.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_config.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_config.cpp.o.d"
+  "/root/repo/tests/util/test_histogram.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_npy.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_npy.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_npy.cpp.o.d"
+  "/root/repo/tests/util/test_rate_limiter.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_rate_limiter.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_rate_limiter.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_string_util.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_string_util.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/mummi_tests.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/util/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/wm/test_job_tracker.cpp" "tests/CMakeFiles/mummi_tests.dir/wm/test_job_tracker.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/wm/test_job_tracker.cpp.o.d"
+  "/root/repo/tests/wm/test_maestro.cpp" "tests/CMakeFiles/mummi_tests.dir/wm/test_maestro.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/wm/test_maestro.cpp.o.d"
+  "/root/repo/tests/wm/test_perf_model.cpp" "tests/CMakeFiles/mummi_tests.dir/wm/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/wm/test_perf_model.cpp.o.d"
+  "/root/repo/tests/wm/test_profiler.cpp" "tests/CMakeFiles/mummi_tests.dir/wm/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/wm/test_profiler.cpp.o.d"
+  "/root/repo/tests/wm/test_selectors.cpp" "tests/CMakeFiles/mummi_tests.dir/wm/test_selectors.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/wm/test_selectors.cpp.o.d"
+  "/root/repo/tests/wm/test_workflow_manager.cpp" "tests/CMakeFiles/mummi_tests.dir/wm/test_workflow_manager.cpp.o" "gcc" "tests/CMakeFiles/mummi_tests.dir/wm/test_workflow_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wm/CMakeFiles/mummi_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/mummi_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/coupling/CMakeFiles/mummi_coupling.dir/DependInfo.cmake"
+  "/root/repo/build/src/continuum/CMakeFiles/mummi_continuum.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdengine/CMakeFiles/mummi_mdengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mummi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mummi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/resgraph/CMakeFiles/mummi_resgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/mummi_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/mummi_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mummi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
