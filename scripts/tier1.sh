@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full build + test cycle, then the fault/resilience tests
+# again under ASan+UBSan (the paths that juggle raw state across crash,
+# restart and retry deserve the extra scrutiny).
+#
+# Usage: scripts/tier1.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "=== tier 1: regular build + full ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  echo "=== tier 1: PASS (sanitizer stage skipped) ==="
+  exit 0
+fi
+
+echo "=== tier 1: ASan+UBSan build, fault/resilience tests ==="
+cmake -B build-asan -S . -DMUMMI_SANITIZE="address;undefined" >/dev/null
+cmake --build build-asan -j "$jobs" --target mummi_tests
+./build-asan/tests/mummi_tests \
+  --gtest_filter='*Backoff*:*FaultPlan*:*ResilientKv*:*FailNode*:*Resilience*:*FsStoreFault*:*JobTrackerBoundary*'
+
+echo "=== tier 1: PASS ==="

@@ -74,6 +74,7 @@ void GridSim2D::step_lipids() {
   for (const auto& p : proteins_) {
     const double gi = p.x / h_;
     const double gj = p.y / h_;
+    if (!std::isfinite(gi) || !std::isfinite(gj)) continue;
     Grid2d& f = footprint[static_cast<int>(p.state)];
     const int ci = static_cast<int>(std::floor(gi));
     const int cj = static_cast<int>(std::floor(gj));
@@ -180,10 +181,12 @@ void GridSim2D::step_proteins() {
       fx += mag * dx / r;
       fy += mag * dy / r;
     }
-    p.x += d * fx * dt + step_sigma * rng_.normal();
-    p.y += d * fy * dt + step_sigma * rng_.normal();
-    p.x -= l * std::floor(p.x / l);
-    p.y -= l * std::floor(p.y / l);
+    const double nx = p.x + d * fx * dt + step_sigma * rng_.normal();
+    const double ny = p.y + d * fy * dt + step_sigma * rng_.normal();
+    // A blown-up field (unstable dt on a coarse grid) yields a non-finite
+    // force; freeze the protein rather than let NaN poison the indices.
+    if (std::isfinite(nx)) p.x = nx - l * std::floor(nx / l);
+    if (std::isfinite(ny)) p.y = ny - l * std::floor(ny / l);
 
     // Markov jumps between configurational states.
     if (rng_.uniform() < config_.state_switch_rate * dt) {

@@ -19,9 +19,65 @@ void validate(const std::string& ns, const std::string& key) {
 }
 }  // namespace
 
-FsStore::FsStore(std::string root, double op_latency)
-    : root_(std::move(root)), op_latency_(op_latency) {
+FsStore::FsStore(std::string root, double op_latency, util::IoRetryPolicy retry)
+    : root_(std::move(root)),
+      op_latency_(op_latency),
+      retry_(std::move(retry)),
+      jitter_rng_(retry_.jitter_seed ^ util::fnv1a(root_)) {
   util::make_dirs(root_);
+}
+
+void FsStore::inject_failures(int count) {
+  std::lock_guard lock(mutex_);
+  pending_failures_ += count;
+}
+
+int FsStore::injected_remaining() const {
+  std::lock_guard lock(mutex_);
+  return pending_failures_;
+}
+
+std::uint64_t FsStore::io_retries() const {
+  std::lock_guard lock(mutex_);
+  return io_retries_;
+}
+
+void FsStore::armored(const char* what,
+                      const std::function<void()>& io) const {
+  const util::SleepFn sleep =
+      retry_.sleep ? retry_.sleep : util::wall_sleeper();
+  std::string last_error = "unavailable";
+  for (int attempt = 0; attempt < retry_.backoff.max_attempts; ++attempt) {
+    bool injected = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (attempt > 0) ++io_retries_;
+      if (pending_failures_ > 0) {
+        --pending_failures_;
+        injected = true;
+      }
+    }
+    if (injected) {
+      last_error = "injected I/O failure";
+    } else {
+      try {
+        io();
+        return;
+      } catch (const util::UnavailableError& err) {
+        last_error = err.what();
+      }
+    }
+    if (attempt + 1 < retry_.backoff.max_attempts) {
+      double delay = 0.0;
+      {
+        std::lock_guard lock(mutex_);
+        delay = retry_.backoff.delay_s(attempt, jitter_rng_);
+      }
+      sleep(delay);
+    }
+  }
+  throw util::UnavailableError(std::string("fs store ") + what +
+                               " failed after retries: " + last_error);
 }
 
 std::string FsStore::path_of(const std::string& ns,
@@ -43,14 +99,17 @@ void FsStore::put(const std::string& ns, const std::string& key,
                   const util::Bytes& value) {
   validate(ns, key);
   util::make_dirs(root_ + "/" + ns);
-  util::write_file(path_of(ns, key), value);
+  armored("put", [&] { util::write_file(path_of(ns, key), value, retry_); });
   account();
 }
 
 util::Bytes FsStore::get(const std::string& ns, const std::string& key) const {
   validate(ns, key);
-  auto data = util::read_file(path_of(ns, key));
+  std::optional<util::Bytes> data;
+  armored("get", [&] { data = util::read_file(path_of(ns, key)); });
   account();
+  // A missing record is a definitive answer, not a transient fault — it is
+  // never retried.
   if (!data) throw util::StoreError("missing record: " + ns + "/" + key);
   return *data;
 }
@@ -85,12 +144,14 @@ void FsStore::move(const std::string& src_ns, const std::string& key,
   validate(src_ns, key);
   validate(dst_ns, key);
   util::make_dirs(root_ + "/" + dst_ns);
-  std::error_code ec;
-  fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
+  armored("move", [&] {
+    std::error_code ec;
+    fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
+    if (ec)
+      throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
+                             dst_ns + ": " + ec.message());
+  });
   account();
-  if (ec)
-    throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
-                           dst_ns + ": " + ec.message());
 }
 
 std::size_t FsStore::inode_count() const {

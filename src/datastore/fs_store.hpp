@@ -7,10 +7,14 @@
 // parallel filesystem for backend-comparison benches.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
 #include "datastore/data_store.hpp"
+#include "util/checkpoint.hpp"
+#include "util/rng.hpp"
 
 namespace mummi::ds {
 
@@ -20,7 +24,10 @@ class FsStore final : public DataStore {
   /// '/' is rejected to keep namespaces flat. `op_latency` seconds of
   /// simulated contention is *accounted* (see latency_accounted()), never
   /// slept, so benches can model GPFS throttling without wasting wall time.
-  explicit FsStore(std::string root, double op_latency = 0.0);
+  /// `retry` governs the armored I/O paths (put/get/move): capped
+  /// exponential backoff with deterministic jitter between attempts.
+  explicit FsStore(std::string root, double op_latency = 0.0,
+                   util::IoRetryPolicy retry = {});
 
   void put(const std::string& ns, const std::string& key,
            const util::Bytes& value) override;
@@ -44,15 +51,32 @@ class FsStore final : public DataStore {
 
   [[nodiscard]] const std::string& root() const { return root_; }
 
+  // --- fault injection (paper Sec. 4.4: "retrials if reading/writing
+  // fails") ----------------------------------------------------------------
+  /// The next `count` armored I/O attempts fail with util::UnavailableError
+  /// before touching the filesystem; the retry loop absorbs them (or throws
+  /// once the backoff policy is exhausted).
+  void inject_failures(int count);
+  [[nodiscard]] int injected_remaining() const;
+  /// Armored I/O attempts beyond the first, summed over all operations.
+  [[nodiscard]] std::uint64_t io_retries() const;
+
  private:
   [[nodiscard]] std::string path_of(const std::string& ns,
                                     const std::string& key) const;
   void account() const;
+  /// Runs `io` under the retry policy. Injected failures consume one pending
+  /// count per attempt; exhaustion throws util::UnavailableError.
+  void armored(const char* what, const std::function<void()>& io) const;
 
   std::string root_;
   double op_latency_;
+  util::IoRetryPolicy retry_;
   mutable std::mutex mutex_;
   mutable double latency_total_ = 0.0;
+  mutable int pending_failures_ = 0;
+  mutable std::uint64_t io_retries_ = 0;
+  mutable util::Rng jitter_rng_;
 };
 
 }  // namespace mummi::ds

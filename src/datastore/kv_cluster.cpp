@@ -22,16 +22,70 @@ std::size_t KvCluster::server_of(const std::string& key) const {
   return util::fnv1a(key) % shards_.size();
 }
 
+void KvCluster::check_available(std::size_t i) const {
+  Shard& shard = *shards_[i];
+  std::lock_guard lock(shard.mutex);
+  if (!shard.up)
+    throw util::UnavailableError("kv shard " + std::to_string(i) + " is down");
+  if (shard.transient_errors > 0) {
+    --shard.transient_errors;
+    throw util::UnavailableError("kv shard " + std::to_string(i) +
+                                 " transient I/O error");
+  }
+}
+
+void KvCluster::fail_server(std::size_t i, bool wipe) {
+  MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[i];
+  std::lock_guard lock(shard.mutex);
+  shard.up = false;
+  if (wipe) shard.data.clear();
+}
+
+void KvCluster::recover_server(std::size_t i) {
+  MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[i];
+  std::lock_guard lock(shard.mutex);
+  shard.up = true;
+}
+
+bool KvCluster::server_up(std::size_t i) const {
+  MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[i];
+  std::lock_guard lock(shard.mutex);
+  return shard.up;
+}
+
+std::size_t KvCluster::servers_down() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    if (!shard->up) ++n;
+  }
+  return n;
+}
+
+void KvCluster::inject_transient_errors(std::size_t i, int count) {
+  MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[i];
+  std::lock_guard lock(shard.mutex);
+  shard.transient_errors += count;
+}
+
 void KvCluster::set(const std::string& key, util::Bytes value) {
+  const std::size_t s = server_of(key);
+  check_available(s);
   add_time(t_writes_,
            cost_.per_query + cost_.per_byte * static_cast<double>(value.size()));
-  Shard& shard = *shards_[server_of(key)];
+  Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   shard.data[key] = std::move(value);
 }
 
 std::optional<util::Bytes> KvCluster::get(const std::string& key) const {
-  const Shard& shard = *shards_[server_of(key)];
+  const std::size_t s = server_of(key);
+  check_available(s);
+  const Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   auto it = shard.data.find(key);
   if (it == shard.data.end()) {
@@ -44,22 +98,30 @@ std::optional<util::Bytes> KvCluster::get(const std::string& key) const {
 }
 
 bool KvCluster::exists(const std::string& key) const {
-  const Shard& shard = *shards_[server_of(key)];
+  const std::size_t s = server_of(key);
+  check_available(s);
+  const Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   return shard.data.count(key) > 0;
 }
 
 bool KvCluster::del(const std::string& key) {
+  const std::size_t s = server_of(key);
+  check_available(s);
   add_time(t_dels_, cost_.per_query);
-  Shard& shard = *shards_[server_of(key)];
+  Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   return shard.data.erase(key) > 0;
 }
 
 bool KvCluster::rename(const std::string& from, const std::string& to) {
   // Same-shard renames move in place; cross-shard falls back to delete+set.
+  // Both shards must be reachable before anything mutates: erasing the
+  // source and then failing the destination write would lose the record.
   const std::size_t s_from = server_of(from);
   const std::size_t s_to = server_of(to);
+  check_available(s_from);
+  if (s_to != s_from) check_available(s_to);
   add_time(t_dels_, cost_.per_query);
   if (s_from == s_to) {
     Shard& shard = *shards_[s_from];
@@ -87,6 +149,7 @@ bool KvCluster::rename(const std::string& from, const std::string& to) {
 }
 
 std::vector<std::string> KvCluster::keys(const std::string& pattern) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) check_available(i);
   std::vector<std::string> out;
   std::size_t scanned = 0;
   for (const auto& shard : shards_) {

@@ -42,6 +42,9 @@ class KvCluster {
   /// Redis hash slots.
   explicit KvCluster(std::size_t n_servers, KvCostModel cost = {});
 
+  /// Operations on a down shard throw util::UnavailableError. Cross-shard
+  /// renames verify both shards are reachable *before* mutating, so a down
+  /// destination never loses the source record.
   void set(const std::string& key, util::Bytes value);
   [[nodiscard]] std::optional<util::Bytes> get(const std::string& key) const;
   [[nodiscard]] bool exists(const std::string& key) const;
@@ -50,8 +53,24 @@ class KvCluster {
   /// the source key is absent. Cross-shard renames are delete+set.
   bool rename(const std::string& from, const std::string& to);
 
-  /// All keys matching a glob pattern, across every shard.
+  /// All keys matching a glob pattern, across every shard. Throws
+  /// util::UnavailableError if any shard is down (a partial scan would be
+  /// silent data loss for the feedback loop).
   [[nodiscard]] std::vector<std::string> keys(const std::string& pattern) const;
+
+  // --- fault injection (paper Sec. 4.4: "Redis server deaths") -------------
+  /// Takes shard `i` down; `wipe` additionally loses its in-memory data
+  /// (a server death without persistence, vs. a reachable-but-partitioned
+  /// shard that keeps it).
+  void fail_server(std::size_t i, bool wipe = false);
+  /// Brings shard `i` back into service.
+  void recover_server(std::size_t i);
+  [[nodiscard]] bool server_up(std::size_t i) const;
+  [[nodiscard]] std::size_t servers_down() const;
+  /// The next `count` operations touching shard `i` fail transiently with
+  /// util::UnavailableError (flaky network), then service resumes — the
+  /// deterministic way to exercise bounded-backoff retry paths.
+  void inject_transient_errors(std::size_t i, int count);
 
   [[nodiscard]] std::size_t n_servers() const { return shards_.size(); }
   [[nodiscard]] std::size_t server_of(const std::string& key) const;
@@ -70,9 +89,14 @@ class KvCluster {
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::string, util::Bytes> data;
+    bool up = true;
+    int transient_errors = 0;  // remaining injected op failures
   };
 
   static void add_time(std::atomic<double>& counter, double dt);
+  /// Throws UnavailableError if the shard is down or consumes one injected
+  /// transient error. Callers hold no lock; this takes the shard's briefly.
+  void check_available(std::size_t i) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   KvCostModel cost_;

@@ -1,0 +1,122 @@
+#include "datastore/resilient_kv.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace mummi::ds {
+
+ResilientKvClient::ResilientKvClient(KvCluster& kv, const util::Clock& clock,
+                                     util::BackoffPolicy backoff,
+                                     CircuitBreakerConfig breaker,
+                                     std::uint64_t jitter_seed)
+    : kv_(kv),
+      clock_(clock),
+      backoff_(backoff),
+      breaker_cfg_(breaker),
+      jitter_rng_(jitter_seed),
+      breakers_(kv.n_servers() + 1) {
+  sleep_ = util::accounting_sleeper(&stats_.backoff_s);
+}
+
+ResilientKvClient::Breaker& ResilientKvClient::breaker_for(long shard) {
+  if (shard < 0 || shard >= static_cast<long>(kv_.n_servers()))
+    return breakers_.back();  // cluster-wide breaker (keys() scans)
+  return breakers_[static_cast<std::size_t>(shard)];
+}
+
+bool ResilientKvClient::admit(Breaker& b) {
+  if (!b.open) return true;
+  if (clock_.now() >= b.open_until) return true;  // half-open: one trial
+  ++stats_.short_circuits;
+  return false;
+}
+
+void ResilientKvClient::note_success(Breaker& b) {
+  b.consecutive_failures = 0;
+  b.open = false;
+}
+
+void ResilientKvClient::note_failure(Breaker& b) {
+  ++b.consecutive_failures;
+  if (b.open || b.consecutive_failures >= breaker_cfg_.failure_threshold) {
+    // A failed half-open trial re-opens; threshold crossings open.
+    ++stats_.breaker_opens;
+    b.open = true;
+    b.open_until = clock_.now() + breaker_cfg_.cooldown_s;
+  }
+}
+
+template <typename Op>
+auto ResilientKvClient::guarded(long shard, Op&& op) -> decltype(op()) {
+  // The breaker admits whole operations, not individual attempts: in-call
+  // retries absorb transient blips without tripping it, while operations
+  // that exhaust their retries count toward the failure threshold.
+  Breaker& b = breaker_for(shard);
+  if (!admit(b)) {
+    ++stats_.failures;
+    throw util::UnavailableError("kv circuit breaker open for shard " +
+                                 std::to_string(shard));
+  }
+  std::string last_error = "unavailable";
+  for (int attempt = 0; attempt < backoff_.max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    ++stats_.attempts;
+    try {
+      auto result = op();
+      note_success(b);
+      return result;
+    } catch (const util::UnavailableError& err) {
+      last_error = err.what();
+    }
+    if (attempt + 1 < backoff_.max_attempts) {
+      const double delay = backoff_.delay_s(attempt, jitter_rng_);
+      if (sleep_) sleep_(delay);
+    }
+  }
+  note_failure(b);
+  ++stats_.failures;
+  throw util::UnavailableError(last_error);
+}
+
+void ResilientKvClient::set(const std::string& key, util::Bytes value) {
+  guarded(static_cast<long>(kv_.server_of(key)), [&] {
+    kv_.set(key, value);  // copy: a retried move would resend empty bytes
+    return true;
+  });
+}
+
+std::optional<util::Bytes> ResilientKvClient::get(const std::string& key) {
+  return guarded(static_cast<long>(kv_.server_of(key)),
+                 [&] { return kv_.get(key); });
+}
+
+bool ResilientKvClient::exists(const std::string& key) {
+  return guarded(static_cast<long>(kv_.server_of(key)),
+                 [&] { return kv_.exists(key); });
+}
+
+bool ResilientKvClient::del(const std::string& key) {
+  return guarded(static_cast<long>(kv_.server_of(key)),
+                 [&] { return kv_.del(key); });
+}
+
+bool ResilientKvClient::rename(const std::string& from, const std::string& to) {
+  // Guard on the destination shard: it is the one a cross-shard rename can
+  // find down after the source check passes.
+  return guarded(static_cast<long>(kv_.server_of(to)),
+                 [&] { return kv_.rename(from, to); });
+}
+
+std::vector<std::string> ResilientKvClient::keys(const std::string& pattern) {
+  return guarded(-1, [&] { return kv_.keys(pattern); });
+}
+
+ResilientKvClient::BreakerState ResilientKvClient::breaker_state(
+    std::size_t shard) const {
+  const Breaker& b = breakers_[shard];
+  if (!b.open) return BreakerState::kClosed;
+  return clock_.now() >= b.open_until ? BreakerState::kHalfOpen
+                                      : BreakerState::kOpen;
+}
+
+}  // namespace mummi::ds

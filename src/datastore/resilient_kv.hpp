@@ -1,0 +1,96 @@
+// Armored client for the KV cluster: retry/backoff + per-shard circuit
+// breaker.
+//
+// Paper Sec. 4.4: the feedback loop must survive "Redis server deaths" and
+// transient network faults. A bare KvCluster call throws UnavailableError the
+// moment a shard is down; ResilientKvClient wraps every operation in bounded
+// exponential backoff with deterministic jitter (transient blips are absorbed
+// in-call) and a per-shard circuit breaker (a dead shard is not hammered:
+// after `failure_threshold` consecutive failures the breaker opens and calls
+// fail fast until `cooldown_s` of clock time passes, then a half-open trial
+// probes the shard).
+//
+// Waiting is pluggable like everywhere else in mummi-cpp: live runs sleep,
+// the campaign accounts virtual seconds, tests record. The breaker reads an
+// injected util::Clock so the whole machinery is exact under virtual time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datastore/kv_cluster.hpp"
+#include "util/backoff.hpp"
+#include "util/clock.hpp"
+
+namespace mummi::ds {
+
+struct CircuitBreakerConfig {
+  int failure_threshold = 3;  // consecutive failures until the breaker opens
+  double cooldown_s = 30.0;   // open duration before a half-open trial
+};
+
+struct ResilientKvStats {
+  std::uint64_t attempts = 0;        // individual cluster calls tried
+  std::uint64_t retries = 0;         // attempts beyond the first, per op
+  std::uint64_t failures = 0;        // operations that exhausted retries
+  std::uint64_t breaker_opens = 0;   // closed/half-open -> open transitions
+  std::uint64_t short_circuits = 0;  // ops refused while a breaker was open
+  double backoff_s = 0.0;            // total backoff waited (virtual or real)
+};
+
+class ResilientKvClient {
+ public:
+  ResilientKvClient(KvCluster& kv, const util::Clock& clock,
+                    util::BackoffPolicy backoff = {},
+                    CircuitBreakerConfig breaker = {},
+                    std::uint64_t jitter_seed = 0xfa17);
+
+  /// Overrides the backoff wait (default: accounted into stats().backoff_s
+  /// without sleeping, the right choice under virtual time).
+  void set_sleeper(util::SleepFn sleep) { sleep_ = std::move(sleep); }
+
+  // Mirrors the KvCluster surface. On unavailability each call retries under
+  // the backoff policy; once retries exhaust (or the shard's breaker is
+  // open) util::UnavailableError propagates to the caller.
+  void set(const std::string& key, util::Bytes value);
+  [[nodiscard]] std::optional<util::Bytes> get(const std::string& key);
+  [[nodiscard]] bool exists(const std::string& key);
+  bool del(const std::string& key);
+  bool rename(const std::string& from, const std::string& to);
+  [[nodiscard]] std::vector<std::string> keys(const std::string& pattern);
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  [[nodiscard]] BreakerState breaker_state(std::size_t shard) const;
+  [[nodiscard]] const ResilientKvStats& stats() const { return stats_; }
+  [[nodiscard]] KvCluster& cluster() { return kv_; }
+
+ private:
+  struct Breaker {
+    int consecutive_failures = 0;
+    bool open = false;
+    double open_until = 0.0;
+  };
+
+  /// Runs `op` with retry/backoff against the breaker guarding `shard`.
+  /// `shard` < 0 guards the whole cluster (keys() scans every shard).
+  template <typename Op>
+  auto guarded(long shard, Op&& op) -> decltype(op());
+
+  [[nodiscard]] Breaker& breaker_for(long shard);
+  bool admit(Breaker& b);          // false = short-circuit (breaker open)
+  void note_success(Breaker& b);
+  void note_failure(Breaker& b);
+
+  KvCluster& kv_;
+  const util::Clock& clock_;
+  util::BackoffPolicy backoff_;
+  CircuitBreakerConfig breaker_cfg_;
+  util::Rng jitter_rng_;
+  util::SleepFn sleep_;
+  std::vector<Breaker> breakers_;  // one per shard + one cluster-wide (last)
+  ResilientKvStats stats_;
+};
+
+}  // namespace mummi::ds

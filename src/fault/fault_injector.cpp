@@ -1,0 +1,66 @@
+#include "fault/fault_injector.hpp"
+
+#include "util/log.hpp"
+
+namespace mummi::fault {
+
+void FaultInjector::arm(event::SimEngine& engine) {
+  for (const FaultEvent& ev : plan_.events()) {
+    engine.schedule_after(ev.time, [this, ev, &engine] {
+      apply(ev, engine.now());
+    });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& ev, double now) {
+  switch (ev.kind) {
+    case FaultKind::kNodeCrash:
+      if (scheduler_ && ev.target >= 0 &&
+          ev.target < scheduler_->graph().n_nodes()) {
+        const auto killed = scheduler_->fail_node(ev.target);
+        jobs_killed_ += killed.size();
+        util::log_debug("fault: node ", ev.target, " crashed, killed ",
+                        killed.size(), " jobs");
+      }
+      break;
+    case FaultKind::kNodeRecover:
+      if (scheduler_ && ev.target >= 0 &&
+          ev.target < scheduler_->graph().n_nodes())
+        scheduler_->recover_node(ev.target);
+      break;
+    case FaultKind::kShardDown:
+      if (kv_ && ev.target >= 0 &&
+          ev.target < static_cast<int>(kv_->n_servers()))
+        kv_->fail_server(static_cast<std::size_t>(ev.target),
+                         /*wipe=*/ev.count != 0);
+      break;
+    case FaultKind::kShardUp:
+      if (kv_ && ev.target >= 0 &&
+          ev.target < static_cast<int>(kv_->n_servers()))
+        kv_->recover_server(static_cast<std::size_t>(ev.target));
+      break;
+    case FaultKind::kStoreIoError:
+      if (fs_) fs_->inject_failures(ev.count);
+      break;
+    case FaultKind::kKvIoError:
+      if (kv_ && ev.target >= 0 &&
+          ev.target < static_cast<int>(kv_->n_servers()))
+        kv_->inject_transient_errors(static_cast<std::size_t>(ev.target),
+                                     ev.count);
+      break;
+    case FaultKind::kLatencySpike:
+      spikes_.push_back({now + ev.duration, ev.magnitude});
+      break;
+  }
+  fired_.push_back(ev);
+  for (const auto& fn : callbacks_) fn(ev);
+}
+
+double FaultInjector::latency_factor(double now) const {
+  double factor = 1.0;
+  for (const Spike& spike : spikes_)
+    if (now < spike.until) factor *= spike.factor;
+  return factor < 1.0 ? 1.0 : factor;
+}
+
+}  // namespace mummi::fault

@@ -1,0 +1,72 @@
+// FaultInjector: applies a FaultPlan to live components in virtual time.
+//
+// The injector is the seam between the deterministic fault schedule and the
+// three layers the paper says fail (Sec. 4.4):
+//   - scheduler: node crashes kill the node's running jobs (fail_node) and
+//     later recovery returns it to service;
+//   - KV cluster: shard outages and transient per-shard I/O errors exercise
+//     the ResilientKvClient backoff/circuit-breaker path;
+//   - FsStore: injected transient errors exercise the armored-retry path;
+//   - latency spikes stretch job durations while active (the paper's GPFS
+//     and fabric congestion episodes).
+//
+// arm() schedules every plan event on a SimEngine; apply() is also public so
+// unit tests can fire events directly without an engine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "datastore/fs_store.hpp"
+#include "datastore/kv_cluster.hpp"
+#include "event/sim_engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mummi::fault {
+
+class FaultInjector {
+ public:
+  using FaultCallback = std::function<void(const FaultEvent&)>;
+
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Targets are optional: events for unbound targets are counted but no-op.
+  void bind_scheduler(sched::Scheduler* scheduler) { scheduler_ = scheduler; }
+  void bind_kv(ds::KvCluster* kv) { kv_ = kv; }
+  void bind_fs(ds::FsStore* fs) { fs_ = fs; }
+
+  /// Schedules every event at plan-time offset from engine.now(). The
+  /// injector must outlive the engine run.
+  void arm(event::SimEngine& engine);
+
+  /// Applies one event immediately at virtual time `now`.
+  void apply(const FaultEvent& ev, double now);
+
+  /// Current job-duration multiplier (>= 1) from active latency spikes.
+  [[nodiscard]] double latency_factor(double now) const;
+
+  /// Observability: every event applied so far, in application order.
+  [[nodiscard]] const std::vector<FaultEvent>& fired() const { return fired_; }
+  [[nodiscard]] std::size_t jobs_killed() const { return jobs_killed_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  void on_fault(FaultCallback fn) { callbacks_.push_back(std::move(fn)); }
+
+ private:
+  struct Spike {
+    double until = 0.0;
+    double factor = 1.0;
+  };
+
+  FaultPlan plan_;
+  sched::Scheduler* scheduler_ = nullptr;
+  ds::KvCluster* kv_ = nullptr;
+  ds::FsStore* fs_ = nullptr;
+  std::vector<FaultEvent> fired_;
+  std::vector<Spike> spikes_;
+  std::size_t jobs_killed_ = 0;
+  std::vector<FaultCallback> callbacks_;
+};
+
+}  // namespace mummi::fault

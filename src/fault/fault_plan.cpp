@@ -1,0 +1,163 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace mummi::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:    return "node_crash";
+    case FaultKind::kNodeRecover:  return "node_recover";
+    case FaultKind::kShardDown:    return "shard_down";
+    case FaultKind::kShardUp:      return "shard_up";
+    case FaultKind::kStoreIoError: return "store_io_error";
+    case FaultKind::kKvIoError:    return "kv_io_error";
+    case FaultKind::kLatencySpike: return "latency_spike";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  return util::format("t=%.1fs %s target=%d dur=%.1fs x%.1f n=%d", time,
+                      to_string(kind), target, duration, magnitude, count);
+}
+
+FaultPlan& FaultPlan::push(FaultEvent ev) {
+  MUMMI_CHECK_MSG(ev.time >= 0.0, "fault time must be non-negative");
+  events_.push_back(ev);
+  sort_events();
+  return *this;
+}
+
+void FaultPlan::sort_events() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+FaultPlan& FaultPlan::node_crash(double t, int node, double down_for_s) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kNodeCrash;
+  ev.target = node;
+  push(ev);
+  if (down_for_s > 0.0) {
+    FaultEvent up;
+    up.time = t + down_for_s;
+    up.kind = FaultKind::kNodeRecover;
+    up.target = node;
+    push(up);
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::shard_outage(double t, int shard, double down_for_s,
+                                   bool wipe) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kShardDown;
+  ev.target = shard;
+  ev.count = wipe ? 1 : 0;
+  push(ev);
+  if (down_for_s > 0.0) {
+    FaultEvent up;
+    up.time = t + down_for_s;
+    up.kind = FaultKind::kShardUp;
+    up.target = shard;
+    push(up);
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::store_errors(double t, int burst) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kStoreIoError;
+  ev.count = burst;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::kv_errors(double t, int shard, int burst) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kKvIoError;
+  ev.target = shard;
+  ev.count = burst;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::latency_spike(double t, double factor,
+                                    double duration_s) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kLatencySpike;
+  ev.magnitude = factor;
+  ev.duration = duration_s;
+  return push(ev);
+}
+
+FaultPlan FaultPlan::generate(const FaultSpec& spec, double horizon_s,
+                              int n_nodes, int n_shards) {
+  MUMMI_CHECK_MSG(horizon_s > 0.0, "fault horizon must be positive");
+  FaultPlan plan;
+  util::Rng rng(spec.seed);
+
+  // Each class draws its own Poisson arrival stream from a split rng so
+  // toggling one class never perturbs another's schedule.
+  auto arrivals = [&](double rate_per_h, util::Rng stream,
+                      const std::function<void(double, util::Rng&)>& emit) {
+    if (rate_per_h <= 0.0) return;
+    const double rate_per_s = rate_per_h / 3600.0;
+    double t = stream.exponential(rate_per_s);
+    while (t < horizon_s) {
+      emit(t, stream);
+      t += stream.exponential(rate_per_s);
+    }
+  };
+
+  arrivals(spec.node_crash_rate_per_h, rng.split(),
+           [&](double t, util::Rng& stream) {
+             if (n_nodes <= 0) return;
+             const int node =
+                 static_cast<int>(stream.uniform_index(
+                     static_cast<std::uint64_t>(n_nodes)));
+             plan.node_crash(t, node,
+                             stream.exponential(1.0 / spec.node_down_mean_s));
+           });
+  arrivals(spec.shard_outage_rate_per_h, rng.split(),
+           [&](double t, util::Rng& stream) {
+             if (n_shards <= 0) return;
+             const int shard =
+                 static_cast<int>(stream.uniform_index(
+                     static_cast<std::uint64_t>(n_shards)));
+             plan.shard_outage(t, shard,
+                               stream.exponential(1.0 / spec.shard_down_mean_s),
+                               spec.shard_wipe);
+           });
+  arrivals(spec.store_error_rate_per_h, rng.split(),
+           [&](double t, util::Rng&) {
+             plan.store_errors(t, spec.store_error_burst);
+           });
+  arrivals(spec.kv_error_rate_per_h, rng.split(),
+           [&](double t, util::Rng& stream) {
+             if (n_shards <= 0) return;
+             const int shard =
+                 static_cast<int>(stream.uniform_index(
+                     static_cast<std::uint64_t>(n_shards)));
+             plan.kv_errors(t, shard, spec.kv_error_burst);
+           });
+  arrivals(spec.latency_spike_rate_per_h, rng.split(),
+           [&](double t, util::Rng& stream) {
+             plan.latency_spike(
+                 t, spec.latency_factor,
+                 stream.exponential(1.0 / spec.latency_spike_mean_s));
+           });
+  return plan;
+}
+
+}  // namespace mummi::fault

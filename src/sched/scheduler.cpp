@@ -1,5 +1,7 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace mummi::sched {
@@ -112,6 +114,25 @@ bool Scheduler::cancel(JobId id) {
     return true;
   }
   return false;
+}
+
+std::vector<JobId> Scheduler::fail_node(int node) {
+  // Drain first: resubmissions triggered by the finish callbacks below must
+  // not be placed back onto the dead node.
+  graph_.drain(node);
+  std::vector<JobId> killed;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    for (const auto& slot : job.alloc.slots) {
+      if (slot.node == node) {
+        killed.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(killed.begin(), killed.end());
+  for (const JobId id : killed) complete(id, /*success=*/false);
+  return killed;
 }
 
 std::vector<JobId> Scheduler::active_jobs() const {

@@ -73,6 +73,16 @@ class Scheduler {
   void drain_node(int node) { graph_.drain(node); }
   void undrain_node(int node) { graph_.undrain(node); }
 
+  /// Hard node loss (distinct from the benign drain): every job with an
+  /// allocation touching `node` fails immediately — finish callbacks fire so
+  /// the WM can resubmit under its max_restarts policy — and the node is
+  /// drained so resubmissions land elsewhere. Returns the killed job ids in
+  /// ascending order (deterministic under any map iteration order).
+  std::vector<JobId> fail_node(int node);
+
+  /// Returns a failed/drained node to service.
+  void recover_node(int node) { graph_.undrain(node); }
+
   [[nodiscard]] ResourceGraph& graph() { return graph_; }
   [[nodiscard]] const ResourceGraph& graph() const { return graph_; }
   [[nodiscard]] Matcher& matcher() { return *matcher_; }

@@ -45,6 +45,7 @@ class ByteWriter {
   }
 
   void raw(const void* p, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand out a null data()
     const auto* b = static_cast<const std::uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
@@ -99,6 +100,7 @@ class ByteReader {
 
   void raw(void* p, std::size_t n) {
     if (n > remaining()) throw FormatError("byte stream truncated");
+    if (n == 0) return;  // empty vectors hand out a null data()
     std::memcpy(p, data_ + pos_, n);
     pos_ += n;
   }

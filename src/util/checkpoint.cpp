@@ -3,7 +3,6 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <thread>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -54,20 +53,28 @@ std::optional<Bytes> read_file(const std::string& path) {
   return data;
 }
 
-void write_file(const std::string& path, const Bytes& data, int max_retries) {
-  for (int attempt = 0;; ++attempt) {
+void write_file(const std::string& path, const Bytes& data,
+                const IoRetryPolicy& retry) {
+  Rng jitter_rng(retry.jitter_seed ^ fnv1a(path));
+  const SleepFn& sleep = retry.sleep ? retry.sleep : wall_sleeper();
+  int attempt = 0;
+  const bool ok = retry_with_backoff(retry.backoff, jitter_rng, sleep, [&] {
+    if (attempt > 0) log_warn("write retry ", attempt, " for ", path);
+    ++attempt;
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (out) {
-      out.write(reinterpret_cast<const char*>(data.data()),
-                static_cast<std::streamsize>(data.size()));
-      out.flush();
-      if (out) return;
-    }
-    if (attempt >= max_retries)
-      throw IoError("write failed after retries: " + path);
-    log_warn("write retry ", attempt + 1, " for ", path);
-    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
-  }
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    return static_cast<bool>(out);
+  });
+  if (!ok) throw IoError("write failed after retries: " + path);
+}
+
+void write_file(const std::string& path, const Bytes& data, int max_retries) {
+  IoRetryPolicy retry;
+  retry.backoff.max_attempts = max_retries + 1;
+  write_file(path, data, retry);
 }
 
 void make_dirs(const std::string& path) {
@@ -81,13 +88,18 @@ bool remove_file(const std::string& path) {
   return fs::remove(path, ec);
 }
 
+CheckpointFile::CheckpointFile(std::string path, IoRetryPolicy retry)
+    : path_(std::move(path)), retry_(std::move(retry)) {}
+
 CheckpointFile::CheckpointFile(std::string path, int max_retries)
-    : path_(std::move(path)), max_retries_(max_retries) {}
+    : path_(std::move(path)) {
+  retry_.backoff.max_attempts = max_retries + 1;
+}
 
 void CheckpointFile::save(const Bytes& payload) const {
   const Bytes framed = frame(payload);
   const std::string tmp = path_ + ".tmp";
-  write_file(tmp, framed, max_retries_);
+  write_file(tmp, framed, retry_);
   std::error_code ec;
   // Rotate the old checkpoint to .bak before the atomic replace.
   if (fs::exists(path_)) {

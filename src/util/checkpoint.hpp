@@ -15,15 +15,30 @@
 #include <optional>
 #include <string>
 
+#include "util/backoff.hpp"
 #include "util/bytes.hpp"
 
 namespace mummi::util {
+
+/// How armored file writes retry: capped exponential backoff between
+/// attempts, waited out by `sleep` (wall clock by default; tests and the
+/// virtual-time campaign substitute recorders/accountants).
+struct IoRetryPolicy {
+  BackoffPolicy backoff{/*max_attempts=*/4, /*base_delay_s=*/1e-3,
+                        /*multiplier=*/2.0, /*max_delay_s=*/0.25,
+                        /*jitter_frac=*/0.25};
+  SleepFn sleep;                // empty = sleep for real (wall_sleeper)
+  std::uint64_t jitter_seed = 0x10aded;  // deterministic jitter stream
+};
 
 class CheckpointFile {
  public:
   /// `path` is the primary checkpoint location; "<path>.bak" holds the
   /// previous good version.
-  explicit CheckpointFile(std::string path, int max_retries = 3);
+  explicit CheckpointFile(std::string path, IoRetryPolicy retry = {});
+
+  /// Back-compat shorthand: `max_retries` extra attempts after the first.
+  CheckpointFile(std::string path, int max_retries);
 
   /// Atomically replaces the checkpoint with `payload`.
   /// Keeps the previous version as backup. Throws IoError after retries.
@@ -45,14 +60,19 @@ class CheckpointFile {
   [[nodiscard]] std::optional<Bytes> load_one(const std::string& p) const;
 
   std::string path_;
-  int max_retries_;
+  IoRetryPolicy retry_;
 };
 
 /// Reads a whole file into bytes; nullopt if it does not exist.
 [[nodiscard]] std::optional<Bytes> read_file(const std::string& path);
 
-/// Writes bytes to a file (truncating); retries transient failures.
-void write_file(const std::string& path, const Bytes& data, int max_retries = 3);
+/// Writes bytes to a file (truncating); retries transient failures under the
+/// policy's capped-exponential backoff instead of hammering the filesystem.
+void write_file(const std::string& path, const Bytes& data,
+                const IoRetryPolicy& retry = {});
+
+/// Back-compat shorthand: `max_retries` extra attempts after the first.
+void write_file(const std::string& path, const Bytes& data, int max_retries);
 
 /// Creates a directory and parents, like `mkdir -p`.
 void make_dirs(const std::string& path);

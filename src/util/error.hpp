@@ -30,6 +30,14 @@ class StoreError : public Error {
   using Error::Error;
 };
 
+/// Raised when a store/service is temporarily unreachable (shard down,
+/// injected transient I/O error). Distinct from StoreError so retry layers
+/// can tell "retry later" apart from "the record does not exist".
+class UnavailableError : public StoreError {
+ public:
+  using StoreError::StoreError;
+};
+
 /// Raised when a job specification cannot be satisfied or tracked.
 class SchedError : public Error {
  public:

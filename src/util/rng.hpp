@@ -92,6 +92,23 @@ class Rng {
   /// Derives an independent child stream (for per-thread/per-job rngs).
   Rng split() { return Rng((*this)() ^ 0xd1342543de82ef95ULL); }
 
+  /// Full generator state, so checkpoints resume the exact stream (crash
+  /// recovery must not fork the campaign's randomness).
+  struct State {
+    std::uint64_t s[4];
+    bool has_spare;
+    double spare;
+  };
+  [[nodiscard]] State save_state() const {
+    State st{{state_[0], state_[1], state_[2], state_[3]}, has_spare_, spare_};
+    return st;
+  }
+  void load_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_spare_ = st.has_spare;
+    spare_ = st.spare;
+  }
+
  private:
   static std::uint64_t splitmix64(std::uint64_t& x) {
     x += 0x9e3779b97f4a7c15ULL;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "fault/fault_injector.hpp"
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -14,6 +17,39 @@ constexpr std::uint64_t kFrameIdBase = 1ULL << 40;  // keep ids disjoint
 /// Files written per CG trajectory frame (frame + analysis sidecars);
 /// calibrated so the full campaign lands near the paper's 1.03B files.
 constexpr double kFilesPerCgFrame = 5.0;
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void write_u64_list(util::ByteWriter& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (const auto x : v) w.u64(x);
+}
+
+std::vector<std::uint64_t> read_u64_list(util::ByteReader& r) {
+  std::vector<std::uint64_t> v(r.u64());
+  for (auto& x : v) x = r.u64();
+  return v;
+}
+
+// std::pair is not trivially copyable, so the perf samples get explicit
+// element-wise framing instead of ByteWriter::vec.
+void write_pairs(util::ByteWriter& w,
+                 const std::vector<std::pair<double, double>>& v) {
+  w.u64(v.size());
+  for (const auto& [a, b] : v) {
+    w.f64(a);
+    w.f64(b);
+  }
+}
+
+std::vector<std::pair<double, double>> read_pairs(util::ByteReader& r) {
+  std::vector<std::pair<double, double>> v(r.u64());
+  for (auto& [a, b] : v) {
+    a = r.f64();
+    b = r.f64();
+  }
+  return v;
+}
 }  // namespace
 
 Campaign::Campaign(CampaignConfig config)
@@ -77,6 +113,20 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   const int continuum_cores =
       continuum_nodes * config_.continuum_cores_per_node;
 
+  // --- fault injection (Sec. 4.4) ------------------------------------------
+  // Each run draws its own plan; the seed mixes the flat run index so the
+  // whole campaign (and any crash-restart continuation) stays deterministic.
+  fault::FaultPlan fault_plan;
+  if (!config_.faults.empty()) {
+    fault::FaultSpec spec = config_.faults;
+    spec.seed ^= 0x9e3779b97f4a7c15ULL * (flat_run_ + 1);
+    fault_plan = fault::FaultPlan::generate(spec, walltime_s, nodes,
+                                            /*n_shards=*/0);
+  }
+  fault::FaultInjector injector(std::move(fault_plan));
+  injector.bind_scheduler(&scheduler);
+  injector.arm(engine);
+
   // --- per-run state -------------------------------------------------------
   bool continuum_running = false;
   const bool degraded =
@@ -102,8 +152,32 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
     (void)payload;
   };
 
+  auto continuum_spec = [&] {
+    sched::JobSpec spec;
+    spec.name = "gridsim2d";
+    spec.type = "continuum";
+    spec.request.slot = sched::Slot{config_.continuum_cores_per_node, 0};
+    spec.request.nslots = continuum_nodes;
+    spec.request.one_slot_per_node = true;
+    spec.est_duration = 2.0 * walltime_s;
+    return spec;
+  };
+
   scheduler.on_finish([&](const sched::Job& job) {
     const auto& type = job.spec.type;
+    if (type == "continuum") {
+      if (job.state == sched::JobState::kFailed) {
+        // A node crash took the continuum down. It is untracked (no WM
+        // restart policy), so the campaign itself reloads it from its
+        // snapshot; fail_node() drained the dead node first, so the new
+        // allocation lands elsewhere.
+        continuum_running = false;
+        maestro.submit(continuum_spec());
+      } else if (job.state == sched::JobState::kCancelled) {
+        continuum_running = false;
+      }
+      return;
+    }
     if (type != "cg_sim" && type != "aa_sim") return;
     auto it = sims_.find(job.spec.payload);
     if (it == sims_.end()) return;
@@ -124,7 +198,33 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
 
   WorkflowManager wm(config_.wm, maestro, trackers, *patch_selector_,
                      *frame_selector_);
-  wm.restore_carry_over(carry);
+  if (resume_) {
+    // Crash-restart: restore buffers, restart counts and both selectors from
+    // the checkpoint, then line up the payloads that were in flight when it
+    // was taken ahead of fresh work.
+    wm.restore(resume_->wm_blob);
+    auto restored = wm.carry_over();
+    for (auto it = resume_->inflight_cg.rbegin();
+         it != resume_->inflight_cg.rend(); ++it)
+      restored.ready_cg.push_front(*it);
+    for (auto it = resume_->inflight_aa.rbegin();
+         it != resume_->inflight_aa.rend(); ++it)
+      restored.ready_aa.push_front(*it);
+    for (auto it = resume_->inflight_cg_setup.rbegin();
+         it != resume_->inflight_cg_setup.rend(); ++it)
+      restored.requeued_cg_setup.push_front(*it);
+    for (auto it = resume_->inflight_aa_setup.rbegin();
+         it != resume_->inflight_aa_setup.rend(); ++it)
+      restored.requeued_aa_setup.push_front(*it);
+    wm.restore_carry_over(restored);
+    resume_base_s_ = resume_->time_into_run_s;
+    resume_.reset();
+  } else {
+    wm.restore_carry_over(carry);
+    resume_base_s_ = 0;
+  }
+  const double hours_at_run_start =
+      campaign_hours_done - resume_base_s_ / 3600.0;
   wm.on_sim_finished([&](const sched::Job& job) {
     // Terminal failures (restarts exhausted): record the partial length.
     if (job.state != sched::JobState::kFailed) return;
@@ -138,14 +238,18 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   sched::SimExecutor executor(engine, rng_.split(), config_.sim_failure_prob);
   executor.set_duration_model([&](const sched::Job& job) -> double {
     const auto& type = job.spec.type;
+    // Active latency spikes (GPFS/fabric congestion) stretch job durations;
+    // 1.0 when no spike is live, so fault-free runs are bit-identical.
+    const double stretch = injector.latency_factor(engine.now());
     if (type == "continuum") return 2.0 * walltime_s;  // cut at teardown
     if (type == "cg_setup")
-      return config_.perf.sample_createsim_seconds(rng_);
-    if (type == "aa_setup") return config_.perf.sample_backmap_seconds(rng_);
+      return stretch * config_.perf.sample_createsim_seconds(rng_);
+    if (type == "aa_setup")
+      return stretch * config_.perf.sample_backmap_seconds(rng_);
     if (type == "cg_sim" || type == "aa_sim") {
       LogicalSim& ls =
           logical_sim(job.spec.payload, type == "aa_sim", degraded);
-      return std::max(1.0, (ls.target - ls.progress) / ls.rate_per_s);
+      return std::max(1.0, stretch * (ls.target - ls.progress) / ls.rate_per_s);
     }
     return job.spec.est_duration;
   });
@@ -153,22 +257,16 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
     if (job.spec.type == "continuum") continuum_running = true;
     const sched::JobId id = job.id;
     executor.launch(job, [&, id](bool ok) {
-      scheduler.complete(id, ok);
+      // A node-crash fault may have killed the job after this completion
+      // event was scheduled; the stale event must not touch it.
+      if (scheduler.job(id).state == sched::JobState::kRunning)
+        scheduler.complete(id, ok);
       maestro.poll();
     });
   });
 
   // The continuum job loads first.
-  {
-    sched::JobSpec cont_spec;
-    cont_spec.name = "gridsim2d";
-    cont_spec.type = "continuum";
-    cont_spec.request.slot = sched::Slot{config_.continuum_cores_per_node, 0};
-    cont_spec.request.nslots = continuum_nodes;
-    cont_spec.request.one_slot_per_node = true;
-    cont_spec.est_duration = 2.0 * walltime_s;
-    maestro.submit(std::move(cont_spec));
-  }
+  maestro.submit(continuum_spec());
 
   // --- recurring coordination events --------------------------------------
   std::function<void()> snapshot_tick = [&] {
@@ -313,6 +411,114 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   };
   engine.schedule_after(config_.profile_interval_s, profile_tick);
 
+  // --- periodic checkpoint + simulated crash -------------------------------
+  auto save_checkpoint = [&] {
+    util::ByteWriter w;
+    w.u32(kCheckpointVersion);
+    w.u64(flat_run_);
+    w.f64(hours_at_run_start);
+    w.f64(resume_base_s_ + engine.now());  // absolute offset into this run
+
+    const util::Rng::State rst = rng_.save_state();
+    for (int i = 0; i < 4; ++i) w.u64(rst.s[i]);
+    w.u8(rst.has_spare ? 1 : 0);
+    w.f64(rst.spare);
+    w.u64(next_patch_id_);
+    w.u64(next_frame_id_);
+
+    // In-flight work in ascending job-id (submission) order; running sims'
+    // checkpointed progress includes time since they started.
+    std::vector<std::uint64_t> fly_cg, fly_aa, fly_cg_setup, fly_aa_setup;
+    std::unordered_map<std::uint64_t, double> running_for;
+    auto active = scheduler.active_jobs();
+    std::sort(active.begin(), active.end());
+    for (const sched::JobId id : active) {
+      const sched::Job& job = scheduler.job(id);
+      const auto& type = job.spec.type;
+      if (type == "cg_sim")
+        fly_cg.push_back(job.spec.payload);
+      else if (type == "aa_sim")
+        fly_aa.push_back(job.spec.payload);
+      else if (type == "cg_setup")
+        fly_cg_setup.push_back(job.spec.payload);
+      else if (type == "aa_setup")
+        fly_aa_setup.push_back(job.spec.payload);
+      else
+        continue;
+      if (job.state == sched::JobState::kRunning &&
+          (type == "cg_sim" || type == "aa_sim"))
+        running_for[job.spec.payload] = engine.now() - job.start_time;
+    }
+
+    std::vector<std::pair<std::uint64_t, LogicalSim>> snap(sims_.begin(),
+                                                           sims_.end());
+    std::sort(snap.begin(), snap.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(snap.size());
+    for (const auto& [payload, ls] : snap) {
+      double progress = ls.progress;
+      const auto it = running_for.find(payload);
+      if (it != running_for.end())
+        progress =
+            std::min(ls.target, ls.progress + ls.rate_per_s * it->second);
+      w.u64(payload);
+      w.u8(ls.is_aa ? 1 : 0);
+      w.f64(ls.target);
+      w.f64(progress);
+      w.f64(ls.rate_per_s);
+      w.f64(ls.size);
+    }
+    write_u64_list(w, fly_cg);
+    write_u64_list(w, fly_aa);
+    write_u64_list(w, fly_cg_setup);
+    write_u64_list(w, fly_aa_setup);
+    w.bytes(wm.serialize());
+
+    // Result accumulators. The profiler timeline and feedback iteration
+    // stats are diagnostics, not campaign state, and are not checkpointed.
+    w.u64(result.snapshots);
+    w.u64(result.patches_created);
+    w.u64(result.frame_candidates);
+    w.f64(result.continuum_total_us);
+    w.f64(result.cg_total_us);
+    w.f64(result.aa_total_ns);
+    w.f64(result.ledger.bytes_continuum);
+    w.f64(result.ledger.bytes_patches);
+    w.f64(result.ledger.bytes_cg_frames);
+    w.f64(result.ledger.bytes_cg_analysis);
+    w.f64(result.ledger.bytes_aa_frames);
+    w.f64(result.ledger.bytes_backmap);
+    w.u64(result.ledger.files_total);
+    w.vec(result.cg_lengths_us);
+    w.vec(result.aa_lengths_ns);
+    w.vec(result.continuum_ms_per_day);
+    write_pairs(w, result.cg_perf);
+    write_pairs(w, result.aa_perf);
+    w.u64(result.faults_injected + injector.fired().size());
+    w.u64(result.fault_jobs_killed + injector.jobs_killed());
+    w.u64(result.checkpoints_written);
+
+    util::CheckpointFile(config_.checkpoint_path).save(std::move(w).take());
+  };
+
+  std::function<void()> checkpoint_tick;
+  if (config_.checkpoint_interval_s > 0 && !config_.checkpoint_path.empty()) {
+    checkpoint_tick = [&] {
+      ++result.checkpoints_written;
+      save_checkpoint();
+      engine.schedule_after(config_.checkpoint_interval_s, checkpoint_tick);
+    };
+    engine.schedule_after(config_.checkpoint_interval_s, checkpoint_tick);
+  }
+
+  if (config_.crash_at_campaign_h > 0) {
+    const double crash_s = config_.crash_at_campaign_h * 3600.0 - t_offset;
+    if (crash_s >= 0 && crash_s < walltime_s)
+      engine.schedule_at(crash_s, [] {
+        throw SimulatedCrash("simulated coordination-process crash");
+      });
+  }
+
   // --- run to walltime ------------------------------------------------------
   engine.run_until(walltime_s);
 
@@ -364,7 +570,82 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
       (config_.rates.backmap_local_bytes + config_.rates.backmap_gpfs_bytes);
   result.ledger.files_total += static_cast<std::uint64_t>(backmaps) * 4;
 
+  result.faults_injected += injector.fired().size();
+  result.fault_jobs_killed += injector.jobs_killed();
+
   campaign_hours_done += walltime_h;
+}
+
+std::optional<std::uint64_t> Campaign::try_load_checkpoint(
+    CampaignResult& result) {
+  if (config_.checkpoint_path.empty()) return std::nullopt;
+  const auto blob = util::CheckpointFile(config_.checkpoint_path).load();
+  if (!blob) return std::nullopt;
+
+  util::ByteReader r(*blob);
+  const auto version = r.u32();
+  MUMMI_CHECK_MSG(version == kCheckpointVersion,
+                  "unknown campaign checkpoint version");
+  const std::uint64_t flat_run = r.u64();
+  r.f64();  // hours at run start; recomputed from the schedule on resume
+
+  ResumeState rs;
+  rs.time_into_run_s = r.f64();
+
+  util::Rng::State rst{};
+  for (int i = 0; i < 4; ++i) rst.s[i] = r.u64();
+  rst.has_spare = r.u8() != 0;
+  rst.spare = r.f64();
+  rng_.load_state(rst);
+  next_patch_id_ = r.u64();
+  next_frame_id_ = r.u64();
+
+  sims_.clear();
+  const auto n_sims = r.u64();
+  for (std::uint64_t i = 0; i < n_sims; ++i) {
+    const std::uint64_t payload = r.u64();
+    LogicalSim ls;
+    ls.is_aa = r.u8() != 0;
+    ls.target = r.f64();
+    ls.progress = r.f64();
+    ls.rate_per_s = r.f64();
+    ls.size = r.f64();
+    sims_.emplace(payload, ls);
+  }
+  rs.inflight_cg = read_u64_list(r);
+  rs.inflight_aa = read_u64_list(r);
+  rs.inflight_cg_setup = read_u64_list(r);
+  rs.inflight_aa_setup = read_u64_list(r);
+  rs.wm_blob = r.bytes();
+
+  result.snapshots = r.u64();
+  result.patches_created = r.u64();
+  result.frame_candidates = r.u64();
+  result.continuum_total_us = r.f64();
+  result.cg_total_us = r.f64();
+  result.aa_total_ns = r.f64();
+  result.ledger.bytes_continuum = r.f64();
+  result.ledger.bytes_patches = r.f64();
+  result.ledger.bytes_cg_frames = r.f64();
+  result.ledger.bytes_cg_analysis = r.f64();
+  result.ledger.bytes_aa_frames = r.f64();
+  result.ledger.bytes_backmap = r.f64();
+  result.ledger.files_total = r.u64();
+  result.cg_lengths_us = r.vec<double>();
+  result.aa_lengths_ns = r.vec<double>();
+  result.continuum_ms_per_day = r.vec<double>();
+  result.cg_perf = read_pairs(r);
+  result.aa_perf = read_pairs(r);
+  result.faults_injected = r.u64();
+  result.fault_jobs_killed = r.u64();
+  result.checkpoints_written = r.u64();
+  result.resumed_from_checkpoint = true;
+
+  resume_ = std::move(rs);
+  util::log_info("campaign: resuming run ", flat_run, " from checkpoint ",
+                 config_.checkpoint_path, " (", resume_->time_into_run_s,
+                 " s into the run)");
+  return flat_run;
 }
 
 CampaignResult Campaign::run() {
@@ -379,17 +660,36 @@ CampaignResult Campaign::run() {
   patch_selector_->set_history_enabled(false);
   frame_selector_->set_history_enabled(false);
 
+  // Crash recovery: a checkpoint left by an interrupted campaign with this
+  // config resumes the interrupted run with its remaining walltime.
+  const std::optional<std::uint64_t> resume_run = try_load_checkpoint(result);
+
   WorkflowManager::CarryOver carry;
   double hours_done = 0;
+  std::uint64_t flat = 0;
   for (const auto& run : config_.runs) {
     RunRow row;
     row.nodes = run.nodes;
     row.walltime_h = run.walltime_h;
     row.count = run.count;
     result.table1.push_back(row);
-    for (int i = 0; i < run.count; ++i) {
-      run_one(run.nodes, run.walltime_h, result, carry, hours_done,
-              hours_total);
+    for (int i = 0; i < run.count; ++i, ++flat) {
+      double walltime_h = run.walltime_h;
+      if (resume_run) {
+        if (flat < *resume_run) {  // completed before the crash
+          hours_done += run.walltime_h;
+          continue;
+        }
+        if (flat == *resume_run && resume_) {
+          const double into_h = resume_->time_into_run_s / 3600.0;
+          hours_done += into_h;
+          // At least one virtual second remains, so run_one always executes
+          // and restores the checkpointed WM/selector state into play.
+          walltime_h = std::max(walltime_h - into_h, 1.0 / 3600.0);
+        }
+      }
+      flat_run_ = flat;
+      run_one(run.nodes, walltime_h, result, carry, hours_done, hours_total);
       util::log_info("campaign: finished run ", run.nodes, " nodes x ",
                      run.walltime_h, " h (", hours_done, "/", hours_total,
                      " h)");
@@ -414,6 +714,10 @@ CampaignResult Campaign::run() {
 
   result.patches_selected = patch_selector_->selected_count();
   result.frames_selected = frame_selector_->selected_count();
+
+  // The campaign finished; a stale checkpoint must not hijack the next one.
+  if (!config_.checkpoint_path.empty())
+    util::CheckpointFile(config_.checkpoint_path).remove();
   return result;
 }
 

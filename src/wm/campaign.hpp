@@ -13,14 +13,25 @@
 // MD, which runs for real in the examples and tests instead.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "event/sim_engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/error.hpp"
 #include "wm/perf_model.hpp"
 #include "wm/profiler.hpp"
 #include "wm/workflow_manager.hpp"
 
 namespace mummi::wm {
+
+/// Thrown when CampaignConfig::crash_at_campaign_h fires: a hard,
+/// mid-allocation death of the coordination process (no teardown, no
+/// checkpoint-and-carry). Recovery is a fresh Campaign with the same config
+/// whose run() resumes from the last periodic checkpoint.
+struct SimulatedCrash : util::Error {
+  using util::Error::Error;
+};
 
 struct RunSpec {
   int nodes = 100;
@@ -66,6 +77,22 @@ struct CampaignConfig {
 
   double sim_failure_prob = 0.005;  // per-job failure odds
   std::uint64_t seed = 7;
+
+  // --- resilience (Sec. 4.4: "everything fails at scale") ------------------
+  /// Infrastructure fault rates; empty() disables injection. Each run draws
+  /// its own plan from faults.seed mixed with the flat run index, so the
+  /// whole campaign stays deterministic.
+  fault::FaultSpec faults;
+
+  /// Periodic campaign checkpoint cadence (virtual seconds); 0 disables.
+  /// Requires checkpoint_path. A fresh Campaign with the same config resumes
+  /// from the newest checkpoint automatically (and removes it on success).
+  double checkpoint_interval_s = 0;
+  std::string checkpoint_path;
+
+  /// Test/bench aid: hard-kill the coordination process (SimulatedCrash)
+  /// once this many campaign hours have elapsed. 0 disables.
+  double crash_at_campaign_h = 0;
 };
 
 struct RunRow {
@@ -105,6 +132,12 @@ struct CampaignResult {
   // Feedback iteration stats (virtual durations).
   std::vector<fb::IterationStats> cg2cont_stats;
   std::vector<fb::IterationStats> aa2cg_stats;
+
+  // Resilience accounting (when CampaignConfig::faults is active).
+  std::uint64_t faults_injected = 0;    // fault events applied
+  std::uint64_t fault_jobs_killed = 0;  // running jobs killed by node crashes
+  std::uint64_t checkpoints_written = 0;
+  bool resumed_from_checkpoint = false;
 };
 
 class Campaign {
@@ -128,6 +161,21 @@ class Campaign {
                double campaign_hours_total);
   LogicalSim& logical_sim(std::uint64_t payload, bool is_aa, bool degraded);
 
+  /// Mid-run crash recovery: the state a periodic checkpoint restores into
+  /// the first run_one() of a resumed campaign.
+  struct ResumeState {
+    double time_into_run_s = 0;  // virtual seconds into the interrupted run
+    util::Bytes wm_blob;         // WorkflowManager::serialize() payload
+    // Payloads in flight at checkpoint time, resumed ahead of fresh work.
+    std::vector<std::uint64_t> inflight_cg, inflight_aa;
+    std::vector<std::uint64_t> inflight_cg_setup, inflight_aa_setup;
+  };
+
+  /// Loads config_.checkpoint_path if present, restoring campaign-level
+  /// state and `result` accumulators. Returns the interrupted flat run index
+  /// (nullopt = start fresh).
+  std::optional<std::uint64_t> try_load_checkpoint(CampaignResult& result);
+
   CampaignConfig config_;
   util::Rng rng_;
   std::unordered_map<std::uint64_t, LogicalSim> sims_;
@@ -137,6 +185,9 @@ class Campaign {
   std::vector<std::uint64_t> carry_resume_aa_;
   std::uint64_t next_patch_id_ = 1;
   std::uint64_t next_frame_id_ = 1;
+  std::uint64_t flat_run_ = 0;        // index into the flattened run schedule
+  double resume_base_s_ = 0;          // checkpointed offset into current run
+  std::optional<ResumeState> resume_; // consumed by the first resumed run
 };
 
 }  // namespace mummi::wm

@@ -1,0 +1,197 @@
+// fail_node semantics: hard node loss kills resident jobs, drains the node,
+// and the WM's restart policy relocates the work (acceptance: killed jobs are
+// resubmitted and complete elsewhere).
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wm/workflow_manager.hpp"
+
+namespace mummi {
+namespace {
+
+bool touches_node(const sched::Job& job, int node) {
+  for (const auto& slot : job.alloc.slots)
+    if (slot.node == node) return true;
+  return false;
+}
+
+class FailNodeTest : public ::testing::Test {
+ protected:
+  FailNodeTest()
+      : scheduler_(sched::ClusterSpec::summit(2),
+                   sched::MatchPolicy::kFirstMatch, clock_) {}
+
+  util::ManualClock clock_;
+  sched::Scheduler scheduler_;
+};
+
+TEST_F(FailNodeTest, KillsOnlyResidentJobsInSortedOrder) {
+  // kFirstMatch + low-resource-id-first packs node 0 before node 1.
+  std::vector<sched::JobId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(scheduler_.submit(sched::JobSpec::gpu_sim("s", "cg_sim")));
+  ASSERT_EQ(scheduler_.pump().size(), 8u);  // 6 GPUs on node 0, 2 on node 1
+
+  std::vector<sched::JobId> expected;
+  for (const auto id : ids)
+    if (touches_node(scheduler_.job(id), 0)) expected.push_back(id);
+  ASSERT_EQ(expected.size(), 6u);
+
+  const auto killed = scheduler_.fail_node(0);
+  EXPECT_EQ(killed, expected);  // ascending ids, node-0 residents only
+  EXPECT_TRUE(std::is_sorted(killed.begin(), killed.end()));
+  for (const auto id : ids) {
+    const bool was_killed =
+        std::find(killed.begin(), killed.end(), id) != killed.end();
+    EXPECT_EQ(scheduler_.state(id), was_killed ? sched::JobState::kFailed
+                                               : sched::JobState::kRunning);
+  }
+  EXPECT_TRUE(scheduler_.graph().drained(0));
+  EXPECT_EQ(scheduler_.graph().used_gpus(), 2);  // node-0 resources released
+}
+
+TEST_F(FailNodeTest, ResubmissionsLandOffTheFailedNode) {
+  for (int i = 0; i < 4; ++i)
+    scheduler_.submit(sched::JobSpec::gpu_sim("s", "cg_sim"));
+  scheduler_.pump();
+  scheduler_.fail_node(0);
+
+  // New work only fits on node 1 while node 0 is down.
+  std::vector<sched::JobId> fresh;
+  for (int i = 0; i < 4; ++i)
+    fresh.push_back(scheduler_.submit(sched::JobSpec::gpu_sim("r", "cg_sim")));
+  scheduler_.pump();
+  for (const auto id : fresh) {
+    ASSERT_EQ(scheduler_.state(id), sched::JobState::kRunning);
+    EXPECT_FALSE(touches_node(scheduler_.job(id), 0));
+  }
+
+  // recover_node returns the node to service: node 1 has only 2 GPUs left,
+  // so 6 more sims can only all start if node 0 serves again.
+  scheduler_.recover_node(0);
+  EXPECT_FALSE(scheduler_.graph().drained(0));
+  std::vector<sched::JobId> wave;
+  for (int i = 0; i < 6; ++i)
+    wave.push_back(scheduler_.submit(sched::JobSpec::gpu_sim("b", "cg_sim")));
+  scheduler_.pump();
+  int on_node0 = 0;
+  for (const auto id : wave) {
+    EXPECT_EQ(scheduler_.state(id), sched::JobState::kRunning);
+    if (touches_node(scheduler_.job(id), 0)) ++on_node0;
+  }
+  EXPECT_GE(on_node0, 4);
+}
+
+TEST_F(FailNodeTest, FailNodeWithNothingRunningIsJustADrain) {
+  EXPECT_TRUE(scheduler_.fail_node(1).empty());
+  EXPECT_TRUE(scheduler_.graph().drained(1));
+  scheduler_.recover_node(1);
+  EXPECT_FALSE(scheduler_.graph().drained(1));
+}
+
+// WM-level: the finish callbacks fired by fail_node drive the trackers'
+// restart policy, so killed sims are resubmitted and complete elsewhere.
+class FailNodeWmTest : public ::testing::Test {
+ protected:
+  FailNodeWmTest()
+      : scheduler_(sched::ClusterSpec::summit(2),
+                   sched::MatchPolicy::kFirstMatch, clock_),
+        maestro_(scheduler_),
+        patch_selector_(9, 5, 1000),
+        frame_selector_(0.8, 3) {
+    auto add = [&](const std::string& type, int cores, int gpus) {
+      wm::JobTypeConfig cfg;
+      cfg.type = type;
+      cfg.request.slot = sched::Slot{cores, gpus};
+      cfg.max_restarts = 2;
+      trackers_.add(std::make_unique<wm::JobTracker>(cfg));
+    };
+    add("cg_setup", 20, 0);
+    add("cg_sim", 3, 1);
+    add("aa_setup", 18, 0);
+    add("aa_sim", 3, 1);
+
+    wm::WmConfig cfg;
+    cfg.gpu_frac_cg = 0.75;
+    wm_ = std::make_unique<wm::WorkflowManager>(cfg, maestro_, trackers_,
+                                                patch_selector_,
+                                                frame_selector_);
+  }
+
+  void ingest_patches(int n) {
+    std::vector<ml::HDPoint> pts;
+    for (int i = 0; i < n; ++i) {
+      ml::HDPoint p;
+      p.id = static_cast<ml::PointId>(i + 1);
+      p.coords.assign(9, 0.1f * static_cast<float>(i));
+      pts.push_back(std::move(p));
+    }
+    wm_->ingest_patches(0, pts);
+  }
+
+  int complete_all(const std::string& type) {
+    int n = 0;
+    for (const auto id : scheduler_.active_jobs()) {
+      const auto& job = scheduler_.job(id);
+      if (job.state == sched::JobState::kRunning && job.spec.type == type) {
+        scheduler_.complete(id, true);
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  util::ManualClock clock_;
+  sched::Scheduler scheduler_;
+  wm::DirectBackend maestro_;
+  wm::TrackerSet trackers_;
+  wm::PatchSelector patch_selector_;
+  wm::FrameSelector frame_selector_;
+  std::unique_ptr<wm::WorkflowManager> wm_;
+};
+
+TEST_F(FailNodeWmTest, KilledSimsResubmittedAndCompleteElsewhere) {
+  ingest_patches(20);
+  for (int round = 0; round < 6; ++round) {
+    wm_->maintain(100);
+    complete_all("cg_setup");
+  }
+  wm_->maintain(100);
+  const int running_before = wm_->running("cg_sim");
+  ASSERT_GT(running_before, 0);
+
+  int terminal_failures = 0, completions = 0;
+  wm_->on_sim_finished([&](const sched::Job& job) {
+    if (job.state == sched::JobState::kFailed) ++terminal_failures;
+    if (job.state == sched::JobState::kCompleted) ++completions;
+  });
+
+  const auto killed = scheduler_.fail_node(0);
+  ASSERT_FALSE(killed.empty());
+  const auto restarted = trackers_.tracker("cg_sim").counters().restarted +
+                         trackers_.tracker("cg_setup").counters().restarted;
+  EXPECT_GE(restarted, static_cast<std::uint64_t>(killed.size()));
+  EXPECT_EQ(terminal_failures, 0);  // max_restarts absorbed the node loss
+
+  // The resubmissions can only run on the surviving node.
+  maestro_.poll();
+  int relocated = 0;
+  for (const auto id : scheduler_.active_jobs()) {
+    const auto& job = scheduler_.job(id);
+    if (job.state != sched::JobState::kRunning) continue;
+    EXPECT_FALSE(touches_node(job, 0));
+    if (job.spec.type == "cg_sim") ++relocated;
+  }
+  EXPECT_GT(relocated, 0);
+
+  // And they finish successfully there: no work was lost to the node.
+  EXPECT_GT(complete_all("cg_sim"), 0);
+  EXPECT_EQ(completions, relocated);
+  EXPECT_EQ(terminal_failures, 0);
+}
+
+}  // namespace
+}  // namespace mummi

@@ -1,0 +1,116 @@
+// FaultPlan: builder ordering, Poisson generation, determinism.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi {
+namespace {
+
+bool same_events(const std::vector<fault::FaultEvent>& a,
+                 const std::vector<fault::FaultEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].kind != b[i].kind ||
+        a[i].target != b[i].target || a[i].duration != b[i].duration ||
+        a[i].magnitude != b[i].magnitude || a[i].count != b[i].count)
+      return false;
+  }
+  return true;
+}
+
+TEST(FaultPlan, BuilderKeepsEventsSortedByTime) {
+  fault::FaultPlan plan;
+  plan.latency_spike(500.0, 3.0, 60.0)
+      .node_crash(100.0, 2, 250.0)
+      .store_errors(10.0, 2);
+  const auto& ev = plan.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].kind, fault::FaultKind::kStoreIoError);
+  EXPECT_EQ(ev[1].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(ev[2].kind, fault::FaultKind::kNodeRecover);
+  EXPECT_DOUBLE_EQ(ev[2].time, 350.0);  // crash + down_for
+  EXPECT_EQ(ev[3].kind, fault::FaultKind::kLatencySpike);
+}
+
+TEST(FaultPlan, ShardOutageWipeFlagRoundTrips) {
+  fault::FaultPlan plan;
+  plan.shard_outage(1.0, 3, 10.0, /*wipe=*/true);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, fault::FaultKind::kShardDown);
+  EXPECT_EQ(plan.events()[0].count, 1);  // wipe encoded
+  EXPECT_EQ(plan.events()[1].kind, fault::FaultKind::kShardUp);
+}
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  fault::FaultSpec spec;
+  spec.node_crash_rate_per_h = 5.0;
+  spec.shard_outage_rate_per_h = 3.0;
+  spec.latency_spike_rate_per_h = 2.0;
+  spec.seed = 99;
+  const auto a = fault::FaultPlan::generate(spec, 7200.0, 16, 4);
+  const auto b = fault::FaultPlan::generate(spec, 7200.0, 16, 4);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(same_events(a.events(), b.events()));
+
+  fault::FaultSpec other = spec;
+  other.seed = 100;
+  const auto c = fault::FaultPlan::generate(other, 7200.0, 16, 4);
+  EXPECT_FALSE(same_events(a.events(), c.events()));
+}
+
+TEST(FaultPlan, FaultClassesDrawIndependentStreams) {
+  // Adding a second fault class must not perturb the first one's schedule.
+  fault::FaultSpec crashes_only;
+  crashes_only.node_crash_rate_per_h = 4.0;
+  crashes_only.seed = 7;
+  fault::FaultSpec with_spikes = crashes_only;
+  with_spikes.latency_spike_rate_per_h = 6.0;
+
+  auto crash_events = [](const fault::FaultPlan& plan) {
+    std::vector<fault::FaultEvent> out;
+    for (const auto& ev : plan.events())
+      if (ev.kind == fault::FaultKind::kNodeCrash ||
+          ev.kind == fault::FaultKind::kNodeRecover)
+        out.push_back(ev);
+    return out;
+  };
+  const auto a = fault::FaultPlan::generate(crashes_only, 3600.0, 8, 0);
+  const auto b = fault::FaultPlan::generate(with_spikes, 3600.0, 8, 0);
+  EXPECT_FALSE(a.empty());
+  EXPECT_GT(b.size(), a.size());
+  EXPECT_TRUE(same_events(crash_events(a), crash_events(b)));
+}
+
+TEST(FaultPlan, GenerateRespectsBoundsAndZeroRates) {
+  fault::FaultSpec spec;  // all rates zero
+  EXPECT_TRUE(spec.empty());
+  EXPECT_TRUE(fault::FaultPlan::generate(spec, 3600.0, 8, 4).empty());
+
+  spec.node_crash_rate_per_h = 50.0;
+  spec.shard_outage_rate_per_h = 50.0;
+  EXPECT_FALSE(spec.empty());
+  const auto plan = fault::FaultPlan::generate(spec, 3600.0, 4, 2);
+  for (const auto& ev : plan.events()) {
+    EXPECT_GE(ev.time, 0.0);
+    if (ev.kind == fault::FaultKind::kNodeCrash)
+      EXPECT_LT(ev.time, 3600.0);  // recoveries may land past the horizon
+    if (ev.kind == fault::FaultKind::kNodeCrash ||
+        ev.kind == fault::FaultKind::kNodeRecover) {
+      EXPECT_GE(ev.target, 0);
+      EXPECT_LT(ev.target, 4);
+    }
+    if (ev.kind == fault::FaultKind::kShardDown ||
+        ev.kind == fault::FaultKind::kShardUp) {
+      EXPECT_GE(ev.target, 0);
+      EXPECT_LT(ev.target, 2);
+    }
+  }
+  // No shard events when the cluster has no shards.
+  const auto nodes_only = fault::FaultPlan::generate(spec, 3600.0, 4, 0);
+  for (const auto& ev : nodes_only.events())
+    EXPECT_TRUE(ev.kind == fault::FaultKind::kNodeCrash ||
+                ev.kind == fault::FaultKind::kNodeRecover);
+}
+
+}  // namespace
+}  // namespace mummi

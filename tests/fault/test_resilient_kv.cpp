@@ -1,0 +1,137 @@
+// ResilientKvClient: retry/backoff absorption, circuit breaker lifecycle.
+#include "datastore/resilient_kv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace mummi {
+namespace {
+
+class ResilientKvTest : public ::testing::Test {
+ protected:
+  ResilientKvTest() : kv_(4) {
+    backoff_.max_attempts = 3;
+    backoff_.base_delay_s = 0.01;
+    backoff_.jitter_frac = 0.0;
+    breaker_.failure_threshold = 2;
+    breaker_.cooldown_s = 30.0;
+  }
+
+  ds::ResilientKvClient make_client() {
+    return ds::ResilientKvClient(kv_, clock_, backoff_, breaker_);
+  }
+
+  std::size_t shard_of(const std::string& key) { return kv_.server_of(key); }
+
+  util::ManualClock clock_;
+  ds::KvCluster kv_;
+  util::BackoffPolicy backoff_;
+  ds::CircuitBreakerConfig breaker_;
+};
+
+TEST_F(ResilientKvTest, TransientErrorsAbsorbedInCall) {
+  auto client = make_client();
+  kv_.inject_transient_errors(shard_of("k"), 2);  // attempts 1+2 fail
+  client.set("k", util::to_bytes("v"));           // third succeeds
+  EXPECT_EQ(util::to_string(*client.get("k")), "v");
+  const auto& stats = client.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.backoff_s, 0.0);  // virtual waits accounted, not slept
+  EXPECT_EQ(client.breaker_state(shard_of("k")),
+            ds::ResilientKvClient::BreakerState::kClosed);
+}
+
+TEST_F(ResilientKvTest, OutageExhaustsRetriesAndOpensBreaker) {
+  auto client = make_client();
+  client.set("k", util::to_bytes("v"));
+  const auto shard = shard_of("k");
+  kv_.fail_server(shard);
+
+  // The breaker counts whole failed operations, not attempts: the first
+  // exhausted op is one strike, the second reaches the threshold and opens.
+  EXPECT_THROW((void)client.get("k"), util::UnavailableError);
+  EXPECT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kClosed);
+  EXPECT_THROW((void)client.get("k"), util::UnavailableError);
+  EXPECT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kOpen);
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+
+  // While open, calls fail fast without touching the shard.
+  const auto attempts_before = client.stats().attempts;
+  EXPECT_THROW(client.set("k", util::to_bytes("x")), util::UnavailableError);
+  EXPECT_EQ(client.stats().attempts, attempts_before);
+  EXPECT_GE(client.stats().short_circuits, 1u);
+}
+
+TEST_F(ResilientKvTest, HalfOpenTrialClosesAfterRecovery) {
+  auto client = make_client();
+  client.set("k", util::to_bytes("v"));
+  const auto shard = shard_of("k");
+  kv_.fail_server(shard);
+  EXPECT_THROW((void)client.get("k"), util::UnavailableError);
+  EXPECT_THROW((void)client.get("k"), util::UnavailableError);
+  ASSERT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kOpen);
+
+  // Cooldown elapses on the injected clock; the shard recovers; the
+  // half-open trial succeeds and the breaker closes. No frames were lost:
+  // the record written before the outage is still served.
+  clock_.advance(breaker_.cooldown_s + 1.0);
+  EXPECT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kHalfOpen);
+  kv_.recover_server(shard);
+  EXPECT_EQ(util::to_string(*client.get("k")), "v");
+  EXPECT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kClosed);
+}
+
+TEST_F(ResilientKvTest, FailedHalfOpenTrialReopens) {
+  auto client = make_client();
+  const auto shard = shard_of("k");
+  kv_.fail_server(shard);
+  EXPECT_THROW(client.set("k", util::to_bytes("v")), util::UnavailableError);
+  EXPECT_THROW(client.set("k", util::to_bytes("v")), util::UnavailableError);
+  ASSERT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kOpen);
+  clock_.advance(breaker_.cooldown_s + 1.0);
+  // Still down: the trial fails and the cooldown restarts.
+  EXPECT_THROW(client.set("k", util::to_bytes("v")), util::UnavailableError);
+  EXPECT_EQ(client.breaker_state(shard),
+            ds::ResilientKvClient::BreakerState::kOpen);
+  EXPECT_EQ(client.stats().breaker_opens, 2u);
+}
+
+TEST_F(ResilientKvTest, RenameSurvivesTransientDestinationErrors) {
+  auto client = make_client();
+  // Find a pair of keys on different shards.
+  std::string from = "from0", to;
+  for (int i = 0; i < 64 && to.empty(); ++i) {
+    const std::string cand = "to" + std::to_string(i);
+    if (kv_.server_of(cand) != kv_.server_of(from)) to = cand;
+  }
+  ASSERT_FALSE(to.empty());
+  client.set(from, util::to_bytes("payload"));
+  kv_.inject_transient_errors(kv_.server_of(to), 1);
+  EXPECT_TRUE(client.rename(from, to));  // retried, nothing lost
+  EXPECT_FALSE(client.exists(from));
+  EXPECT_EQ(util::to_string(*client.get(to)), "payload");
+}
+
+TEST_F(ResilientKvTest, KeysGuardedByClusterWideBreaker) {
+  auto client = make_client();
+  client.set("a", util::to_bytes("1"));
+  kv_.fail_server(0);
+  EXPECT_THROW((void)client.keys("*"), util::UnavailableError);
+  EXPECT_THROW((void)client.keys("*"), util::UnavailableError);
+  // The cluster-wide breaker (slot n_servers) opened; per-shard ones stayed
+  // closed for shards the scan never reached.
+  EXPECT_EQ(client.breaker_state(kv_.n_servers()),
+            ds::ResilientKvClient::BreakerState::kOpen);
+}
+
+}  // namespace
+}  // namespace mummi

@@ -5,8 +5,12 @@
 
 #include <filesystem>
 
+#include <deque>
+
 #include "continuum/gridsim2d.hpp"
 #include "datastore/red_store.hpp"
+#include "datastore/resilient_kv.hpp"
+#include "fault/fault_injector.hpp"
 #include "feedback/aa2cg.hpp"
 #include "util/checkpoint.hpp"
 #include "wm/campaign.hpp"
@@ -121,9 +125,149 @@ TEST(Resilience, SelectorStateRoundTripsThroughCheckpointFile) {
     const auto a = selector.select(1);
     const auto b = restored.select(1);
     ASSERT_EQ(a.size(), b.size());
-    if (!a.empty()) EXPECT_EQ(a[0].point.id, b[0].point.id);
+    if (!a.empty()) {
+      EXPECT_EQ(a[0].point.id, b[0].point.id);
+    }
   }
   std::filesystem::remove_all(dir);
+}
+
+wm::CampaignConfig small_faulted_config() {
+  wm::CampaignConfig cfg;
+  cfg.runs = {{20, 1, 2}};
+  cfg.proteins_per_snapshot = 20;
+  cfg.perf.createsim_mean_s = 900;
+  cfg.seed = 11;
+  cfg.faults.node_crash_rate_per_h = 8.0;
+  cfg.faults.node_down_mean_s = 300.0;
+  cfg.faults.latency_spike_rate_per_h = 3.0;
+  cfg.faults.latency_spike_mean_s = 200.0;
+  cfg.faults.seed = 5;
+  return cfg;
+}
+
+TEST(Resilience, FaultedCampaignIsDeterministic) {
+  // Acceptance (a): same seed + same fault plan => bit-identical results.
+  const auto cfg = small_faulted_config();
+  const auto a = wm::Campaign(cfg).run();
+  const auto b = wm::Campaign(cfg).run();
+  EXPECT_GT(a.faults_injected, 0u);
+  EXPECT_GT(a.patches_selected, 0u);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.fault_jobs_killed, b.fault_jobs_killed);
+  EXPECT_EQ(a.snapshots, b.snapshots);
+  EXPECT_EQ(a.patches_created, b.patches_created);
+  EXPECT_EQ(a.patches_selected, b.patches_selected);
+  EXPECT_EQ(a.frames_selected, b.frames_selected);
+  EXPECT_EQ(a.cg_total_us, b.cg_total_us);  // bitwise, not approximate
+  EXPECT_EQ(a.aa_total_ns, b.aa_total_ns);
+  EXPECT_EQ(a.cg_lengths_us, b.cg_lengths_us);
+  EXPECT_EQ(a.continuum_total_us, b.continuum_total_us);
+}
+
+TEST(Resilience, CampaignAbsorbsNodeCrashes) {
+  // Acceptance (d), campaign level: node crashes kill running jobs; the
+  // trackers resubmit them and the campaign keeps producing science.
+  auto cfg = small_faulted_config();
+  cfg.faults.latency_spike_rate_per_h = 0.0;
+  cfg.faults.node_crash_rate_per_h = 12.0;
+  const auto result = wm::Campaign(cfg).run();
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_GT(result.fault_jobs_killed, 0u);
+  EXPECT_GT(result.patches_selected, 0u);
+  EXPECT_GT(result.cg_total_us, 0.0);
+}
+
+TEST(Resilience, CrashRestartResumesFromCheckpoint) {
+  // Acceptance (b): a mid-campaign crash, then a fresh Campaign resumes from
+  // the periodic checkpoint and completes.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mummi_crash_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string ckpt_path = (dir / "campaign.ckpt").string();
+
+  wm::CampaignConfig cfg;
+  cfg.runs = {{20, 2, 1}};
+  cfg.proteins_per_snapshot = 20;
+  cfg.perf.createsim_mean_s = 900;
+  cfg.seed = 11;
+  cfg.checkpoint_interval_s = 600;
+  cfg.checkpoint_path = ckpt_path;
+  // Not a checkpoint multiple: the crash lands between two ticks.
+  cfg.crash_at_campaign_h = 1.45;
+
+  EXPECT_THROW(wm::Campaign(cfg).run(), wm::SimulatedCrash);
+  EXPECT_TRUE(std::filesystem::exists(ckpt_path));
+
+  auto resume_cfg = cfg;
+  resume_cfg.crash_at_campaign_h = 0;  // the "restarted" coordination process
+  const auto result = wm::Campaign(resume_cfg).run();
+  EXPECT_TRUE(result.resumed_from_checkpoint);
+  EXPECT_GT(result.checkpoints_written, 0u);
+  // Pre-crash progress was not lost: the resumed result carries the
+  // accumulated counters past what the post-crash tail alone could produce.
+  EXPECT_GT(result.patches_selected, 0u);
+  EXPECT_GT(result.snapshots, 0u);
+  EXPECT_GT(result.cg_total_us, 0.0);
+  // Success clears the checkpoint so the next campaign starts fresh.
+  EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Resilience, FeedbackLoopSurvivesShardOutage) {
+  // Acceptance (c): a producer writes frames through ResilientKvClient while
+  // every shard goes down mid-stream. Unwritable frames aggregate locally
+  // (the paper's producer/consumer decoupling) and flush after recovery:
+  // zero lost frames.
+  event::SimEngine engine;
+  ds::KvCluster kv(4);
+  util::BackoffPolicy backoff;
+  backoff.max_attempts = 3;
+  backoff.base_delay_s = 0.01;
+  backoff.jitter_frac = 0.0;
+  ds::CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown_s = 60.0;
+  ds::ResilientKvClient client(kv, engine.clock(), backoff, breaker);
+
+  fault::FaultPlan plan;
+  for (int s = 0; s < 4; ++s)
+    plan.shard_outage(100.0, s, 120.0);  // all shards dark for [100, 220)
+  fault::FaultInjector injector(std::move(plan));
+  injector.bind_kv(&kv);
+  injector.arm(engine);
+
+  const int total_frames = 40;
+  std::deque<std::pair<std::string, util::Bytes>> unflushed;
+  int produced = 0;
+  std::function<void()> tick = [&] {
+    unflushed.emplace_back("frame-" + std::to_string(produced),
+                           util::to_bytes("payload-" + std::to_string(produced)));
+    ++produced;
+    while (!unflushed.empty()) {
+      try {
+        client.set(unflushed.front().first, unflushed.front().second);
+        unflushed.pop_front();
+      } catch (const util::UnavailableError&) {
+        break;  // shard down: keep the backlog, retry next tick
+      }
+    }
+    if (produced < total_frames) engine.schedule_after(10.0, tick);
+  };
+  engine.schedule_at(5.0, tick);
+  engine.run();
+
+  // The outage was real (breaker opened, short-circuits fired)...
+  EXPECT_GT(client.stats().breaker_opens, 0u);
+  EXPECT_GT(client.stats().short_circuits, 0u);
+  EXPECT_GT(client.stats().failures, 0u);
+  // ...the backlog drained after recovery, and no frame was lost.
+  EXPECT_TRUE(unflushed.empty());
+  for (int i = 0; i < total_frames; ++i) {
+    const auto v = client.get("frame-" + std::to_string(i));
+    ASSERT_TRUE(v.has_value()) << "frame " << i << " lost";
+    EXPECT_EQ(util::to_string(*v), "payload-" + std::to_string(i));
+  }
 }
 
 TEST(Resilience, ProducerConsumerDecoupling) {

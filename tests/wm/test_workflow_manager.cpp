@@ -239,6 +239,72 @@ TEST_F(WorkflowManagerTest, FeedbackManagersRunInOrder) {
 namespace mummi::wm {
 namespace {
 
+TEST(JobTrackerBoundary, ExactlyMaxRestartsResubmissionsThenTerminal) {
+  // max_restarts = N means exactly N resubmissions of a failing job; failure
+  // N+1 is terminal and must surface through on_sim_finished.
+  constexpr int kMaxRestarts = 3;
+  util::ManualClock clock;
+  sched::Scheduler scheduler(sched::ClusterSpec::summit(2),
+                             sched::MatchPolicy::kFirstMatch, clock);
+  DirectBackend maestro(scheduler);
+  TrackerSet trackers;
+  auto add = [&](const std::string& type, int cores, int gpus) {
+    JobTypeConfig cfg;
+    cfg.type = type;
+    cfg.request.slot = sched::Slot{cores, gpus};
+    cfg.max_restarts = kMaxRestarts;
+    trackers.add(std::make_unique<JobTracker>(cfg));
+  };
+  add("cg_setup", 20, 0);
+  add("cg_sim", 3, 1);
+  add("aa_setup", 18, 0);
+  add("aa_sim", 3, 1);
+  PatchSelector patches(9, 5, 1000);
+  FrameSelector frames(0.8, 3);
+  WmConfig cfg;
+  cfg.gpu_frac_cg = 0.75;
+  WorkflowManager wm(cfg, maestro, trackers, patches, frames);
+
+  ml::HDPoint p;
+  p.id = 1;
+  p.coords.assign(9, 0.5f);
+  wm.ingest_patches(0, {p});
+  wm.maintain(100);
+  ASSERT_EQ(wm.running("cg_setup"), 1);
+  for (const auto id : scheduler.active_jobs())
+    if (scheduler.job(id).state == sched::JobState::kRunning)
+      scheduler.complete(id, true);
+  wm.maintain(100);
+  ASSERT_EQ(wm.running("cg_sim"), 1);
+
+  int terminal_failures = 0;
+  wm.on_sim_finished([&](const sched::Job& job) {
+    if (job.state == sched::JobState::kFailed) ++terminal_failures;
+  });
+
+  auto fail_running_sim = [&] {
+    for (const auto id : scheduler.active_jobs()) {
+      const auto& job = scheduler.job(id);
+      if (job.state == sched::JobState::kRunning && job.spec.type == "cg_sim")
+        scheduler.complete(id, false);
+    }
+  };
+  const auto& counters = trackers.tracker("cg_sim").counters();
+  for (int round = 1; round <= kMaxRestarts; ++round) {
+    fail_running_sim();
+    // Resubmitted, still in flight, one more restart consumed.
+    EXPECT_EQ(wm.running("cg_sim") + wm.pending("cg_sim"), 1) << round;
+    EXPECT_EQ(counters.restarted, static_cast<std::uint64_t>(round));
+    EXPECT_EQ(terminal_failures, 0);
+  }
+  // Restarts exhausted: the next failure is terminal, nothing resubmitted.
+  fail_running_sim();
+  EXPECT_EQ(wm.running("cg_sim") + wm.pending("cg_sim"), 0);
+  EXPECT_EQ(counters.restarted, static_cast<std::uint64_t>(kMaxRestarts));
+  EXPECT_EQ(counters.failed, static_cast<std::uint64_t>(kMaxRestarts) + 1);
+  EXPECT_EQ(terminal_failures, 1);
+}
+
 TEST_F(WorkflowManagerTest, FullStateSerializeRestore) {
   ingest_patches(20);
   ingest_frames(10);
