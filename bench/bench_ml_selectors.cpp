@@ -6,9 +6,18 @@
 //
 // We measure, for each sampler, the wall time of the full
 // ingest -> rank-update -> select cycle as candidate volume grows, and
-// report candidates-per-second of ranking work.
+// report candidates-per-second of ranking work. Results land as JSON in
+// bench_outputs/ml_selectors.json so the scaling curve can be replotted
+// without rerun.
+//
+// Usage: bench_ml_selectors [--small]
+//   --small runs reduced candidate volumes (for quick checks / CI).
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "ml/binned_sampler.hpp"
 #include "ml/fps_sampler.hpp"
@@ -33,31 +42,49 @@ std::vector<ml::HDPoint> random_patches(int n, int dim, util::Rng& rng,
   return out;
 }
 
+struct Row {
+  std::string sampler;
+  int candidates = 0;
+  double cycle_seconds = 0;
+  double rate = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
   util::Rng rng(23);
+
+  const std::vector<int> fps_sizes =
+      small ? std::vector<int>{1000, 3000} : std::vector<int>{5000, 15000, 35000};
+  const std::vector<int> binned_sizes =
+      small ? std::vector<int>{20000, 50000}
+            : std::vector<int>{100000, 1000000, 4000000};
+  const int fps_capacity = small ? 7000 : 35000;
+  const int fps_prior = small ? 100 : 500;
 
   std::printf("=== ML selector scaling: FPS (9-D) vs binned (3-D) ===\n\n");
 
-  std::printf("farthest-point sampler (Patch Selector), capacity 35k, after "
-              "500 prior selections:\n");
+  std::printf("farthest-point sampler (Patch Selector), capacity %dk, after "
+              "%d prior selections:\n", fps_capacity / 1000, fps_prior);
   std::printf("%12s %16s %18s\n", "#candidates", "cycle time (s)",
               "candidates/s");
-  double fps_rate_at_35k = 0;
-  for (int n : {5000, 15000, 35000}) {
-    ml::FpsSampler fps(9, 35000);
+  std::vector<Row> rows;
+  double fps_rate_at_max = 0;
+  for (int n : fps_sizes) {
+    ml::FpsSampler fps(9, static_cast<std::size_t>(fps_capacity));
     fps.set_history_enabled(false);
     // Prior selections so rank updates have a real selected set to query.
-    fps.add_candidates(random_patches(500, 9, rng, 1));
-    (void)fps.select(500);
+    fps.add_candidates(random_patches(fps_prior, 9, rng, 1));
+    (void)fps.select(static_cast<std::size_t>(fps_prior));
     fps.add_candidates(random_patches(n, 9, rng, 1000000));
     util::Stopwatch watch;
     fps.update_ranks();
     (void)fps.select(10);
     const double dt = watch.elapsed();
     const double rate = n / dt;
-    if (n == 35000) fps_rate_at_35k = rate;
+    fps_rate_at_max = rate;
+    rows.push_back({"fps", n, dt, rate});
     std::printf("%12d %16.3f %18.0f\n", n, dt, rate);
   }
 
@@ -65,17 +92,17 @@ int main() {
   std::printf("%12s %16s %18s\n", "#candidates", "cycle time (s)",
               "candidates/s");
   double binned_rate = 0;
-  for (int n : {100000, 1000000, 4000000}) {
+  for (int n : binned_sizes) {
     ml::BinnedSampler binned({{15, 30, 45, 60, 75},
                               {45, 90, 135, 180, 225, 270, 315},
                               {0.5, 1.0, 1.5, 2.0, 2.5}},
                              0.8, 3);
     binned.set_history_enabled(false);
     util::Stopwatch watch;
-    constexpr int kBatch = 100000;
+    const int kBatch = std::min(n, 100000);
     for (int done = 0; done < n; done += kBatch) {
       std::vector<ml::HDPoint> batch;
-      batch.reserve(kBatch);
+      batch.reserve(static_cast<std::size_t>(kBatch));
       for (int i = 0; i < kBatch; ++i) {
         batch.push_back({static_cast<ml::PointId>(done + i),
                          {static_cast<float>(rng.uniform(0, 90)),
@@ -88,13 +115,38 @@ int main() {
     (void)binned.select(10);
     const double dt = watch.elapsed();
     binned_rate = n / dt;
+    rows.push_back({"binned", n, dt, binned_rate});
     std::printf("%12d %16.3f %18.0f\n", n, dt, binned_rate);
   }
 
+  const double ratio = binned_rate / fps_rate_at_max;
   std::printf("\ncandidate volume sustainable per ranking budget: binned/FPS "
-              "= %.0fx\n", binned_rate / fps_rate_at_35k);
+              "= %.0fx\n", ratio);
   std::printf("(paper: 9,837,316 binned candidates vs 5 x 35,000 FPS "
               "candidates ~ 56x pool size,\n delivered by ~165x more "
               "candidate data processed in the same 3-4 min budget)\n");
+
+  std::filesystem::create_directories("bench_outputs");
+  const std::string path = "bench_outputs/ml_selectors.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"ml_selectors\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n", small ? "small" : "full");
+  std::fprintf(out, "  \"binned_over_fps_ratio\": %.3f,\n  \"rows\": [\n",
+               ratio);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(out,
+                 "    {\"sampler\": \"%s\", \"candidates\": %d, "
+                 "\"cycle_seconds\": %.6f, \"candidates_per_second\": %.1f}%s\n",
+                 r.sampler.c_str(), r.candidates, r.cycle_seconds, r.rate,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

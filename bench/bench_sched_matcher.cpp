@@ -3,9 +3,16 @@
 // nodes and the same job mix (24,000 jobs with 1 GPU and 3 CPU cores each,
 // and 1 job with 150 nodes, each with 24 cores), we measured a 670x
 // improvement" from the first-match policy over the exhaustive
-// low-resource-ID traversal.
+// low-resource-ID traversal. Results land as JSON in
+// bench_outputs/sched_matcher.json.
+//
+// Usage: bench_sched_matcher [--small]
+//   --small runs a reduced cluster / job mix (for quick checks / CI).
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "resgraph/matcher.hpp"
 #include "util/clock.hpp"
@@ -21,14 +28,15 @@ struct MatchRun {
 };
 
 MatchRun run_mix(sched::Matcher& matcher, int nodes, int gpu_jobs,
-                 int measure_first, double& extrapolated_seconds) {
+                 int continuum_nodes, int measure_first,
+                 double& extrapolated_seconds) {
   sched::ResourceGraph graph(sched::ClusterSpec::summit(nodes));
   MatchRun result;
 
-  // The one continuum-style job: 150 nodes x 24 cores.
+  // The one continuum-style job: `continuum_nodes` nodes x 24 cores.
   sched::Request continuum;
   continuum.slot = sched::Slot{24, 0};
-  continuum.nslots = 150;
+  continuum.nslots = continuum_nodes;
   continuum.one_slot_per_node = true;
 
   sched::Request sim;
@@ -63,21 +71,25 @@ MatchRun run_mix(sched::Matcher& matcher, int nodes, int gpu_jobs,
 
 }  // namespace
 
-int main() {
-  constexpr int kNodes = 4000;
-  constexpr int kJobs = 24000;
+int main(int argc, char** argv) {
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  const int nodes = small ? 250 : 4000;
+  const int jobs = small ? 1500 : 24000;
+  const int continuum_nodes = small ? 16 : 150;
 
-  std::printf("=== Sec. 5.2: matcher policy at 4000-node scale ===\n");
-  std::printf("job mix: 1 x (150 nodes x 24 cores) + %d x (1 GPU + 3 "
-              "cores)\n\n", kJobs);
+  std::printf("=== Sec. 5.2: matcher policy at %d-node scale ===\n", nodes);
+  std::printf("job mix: 1 x (%d nodes x 24 cores) + %d x (1 GPU + 3 "
+              "cores)\n\n", continuum_nodes, jobs);
 
   sched::FirstMatchMatcher fast;
   double fast_extrap = 0;
-  const auto fm = run_mix(fast, kNodes, kJobs, 0, fast_extrap);
+  const auto fm = run_mix(fast, nodes, jobs, continuum_nodes, 0, fast_extrap);
 
   sched::ExhaustiveMatcher slow;
   double slow_extrap = 0;
-  const auto ex = run_mix(slow, kNodes, kJobs, 2000, slow_extrap);
+  const auto ex =
+      run_mix(slow, nodes, jobs, continuum_nodes, small ? 200 : 2000,
+              slow_extrap);
 
   std::printf("%-26s %18s %14s %10s\n", "policy", "vertex visits",
               "wall seconds", "placed");
@@ -96,5 +108,30 @@ int main() {
   std::printf("(paper: 670x end-to-end in Flux's emulated environment; the "
               "shape to hold is\n two or more orders of magnitude from "
               "greedy first-match placement)\n");
+
+  std::filesystem::create_directories("bench_outputs");
+  const std::string path = "bench_outputs/sched_matcher.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"sched_matcher\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n  \"nodes\": %d,\n  \"jobs\": %d,\n",
+               small ? "small" : "full", nodes, jobs);
+  std::fprintf(out,
+               "  \"first_match\": {\"visits\": %llu, \"wall_seconds\": %.6f, "
+               "\"placed\": %d},\n",
+               static_cast<unsigned long long>(fm.visits), fm.wall_seconds,
+               fm.placed);
+  std::fprintf(out,
+               "  \"exhaustive\": {\"visits\": %llu, \"wall_seconds\": %.6f, "
+               "\"placed\": %d, \"extrapolated_seconds\": %.6f},\n",
+               static_cast<unsigned long long>(ex.visits), ex.wall_seconds,
+               ex.placed, slow_extrap);
+  std::fprintf(out, "  \"visit_ratio\": %.3f,\n  \"wall_ratio\": %.3f\n}\n",
+               visit_ratio, wall_ratio);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -5,9 +5,15 @@
 //
 // Usage: bench_table1_campaign [--small]
 //   --small runs a scaled-down schedule (for quick checks / CI).
+//
+// Summary counts land as JSON in bench_outputs/table1.json — these are the
+// campaign-determinism fingerprint: identical counts are expected for the
+// same seed regardless of thread-pool size or selection-engine internals.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "util/clock.hpp"
 #include "util/string_util.hpp"
@@ -96,6 +102,37 @@ int main(int argc, char** argv) {
               days);
   std::printf("%-28s %14llu  (paper: 1,034,232,900)\n", "files total",
               static_cast<unsigned long long>(result.ledger.files_total));
+
+  std::filesystem::create_directories("bench_outputs");
+  const std::string path = "bench_outputs/table1.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"table1_campaign\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n", small ? "small" : "full");
+  std::fprintf(out, "  \"node_hours\": %.3f,\n", result.node_hours);
+  std::fprintf(out, "  \"snapshots\": %llu,\n",
+               static_cast<unsigned long long>(result.snapshots));
+  std::fprintf(out, "  \"patches_created\": %llu,\n",
+               static_cast<unsigned long long>(result.patches_created));
+  std::fprintf(out, "  \"patches_selected\": %llu,\n",
+               static_cast<unsigned long long>(result.patches_selected));
+  std::fprintf(out, "  \"frame_candidates\": %llu,\n",
+               static_cast<unsigned long long>(result.frame_candidates));
+  std::fprintf(out, "  \"frames_selected\": %llu,\n",
+               static_cast<unsigned long long>(result.frames_selected));
+  std::fprintf(out, "  \"cg_sims\": %zu,\n", result.cg_lengths_us.size());
+  std::fprintf(out, "  \"aa_sims\": %zu,\n", result.aa_lengths_ns.size());
+  std::fprintf(out, "  \"cg_total_us\": %.3f,\n", result.cg_total_us);
+  std::fprintf(out, "  \"aa_total_ns\": %.3f,\n", result.aa_total_ns);
+  std::fprintf(out, "  \"bytes_total\": %llu,\n",
+               static_cast<unsigned long long>(result.ledger.bytes_total()));
+  std::fprintf(out, "  \"files_total\": %llu\n}\n",
+               static_cast<unsigned long long>(result.ledger.files_total));
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
 
   std::printf("\n[campaign simulated in %.1f s wall time]\n", watch.elapsed());
   return 0;

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Bench smoke: run the JSON-emitting benchmarks at reduced scale and fail if
+# any of them exits nonzero or writes malformed/incomplete JSON. This guards
+# the bench binaries and their bench_outputs/*.json contract (the files the
+# plotting/regression tooling consumes) without paying full-scale runtimes.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "bench_smoke: $build_dir/bench not found (build first)" >&2
+  exit 1
+fi
+
+run_bench() {
+  local name="$1" json="$2"
+  shift 2
+  echo "--- $name $* ---"
+  rm -f "bench_outputs/$json"
+  "$build_dir/bench/$name" "$@"
+  local path="bench_outputs/$json"
+  if [[ ! -s "$path" ]]; then
+    echo "bench_smoke: $name did not write $path" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if "bench" not in doc:
+    sys.exit(f"{sys.argv[1]}: missing 'bench' key")
+EOF
+  else
+    # Crude structural check when python3 is absent: non-empty, balanced
+    # outermost braces, and the bench tag present.
+    grep -q '"bench"' "$path"
+    [[ "$(head -c 1 "$path")" == "{" ]]
+    [[ "$(tail -c 2 "$path" | head -c 1)" == "}" ]]
+  fi
+  echo "    $path OK"
+}
+
+run_bench bench_ml_selectors ml_selectors.json --small
+run_bench bench_sched_matcher sched_matcher.json --small
+run_bench bench_table1_campaign table1.json --small
+run_bench bench_resilience resilience.json
+
+echo "=== bench smoke: PASS ==="

@@ -3,18 +3,34 @@
 # again under ASan+UBSan (the paths that juggle raw state across crash,
 # restart and retry deserve the extra scrutiny).
 #
-# Usage: scripts/tier1.sh [--no-sanitize]
+# Usage: scripts/tier1.sh [--no-sanitize] [--bench]
+#   --bench additionally runs scripts/bench_smoke.sh (reduced-scale JSON
+#   benches with output validation) after the test stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+no_sanitize=0
+bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) no_sanitize=1 ;;
+    --bench) bench=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "=== tier 1: regular build + full ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-if [[ "${1:-}" == "--no-sanitize" ]]; then
+if [[ "$bench" == 1 ]]; then
+  echo "=== tier 1: bench smoke (reduced scale, JSON validated) ==="
+  scripts/bench_smoke.sh build
+fi
+
+if [[ "$no_sanitize" == 1 ]]; then
   echo "=== tier 1: PASS (sanitizer stage skipped) ==="
   exit 0
 fi

@@ -11,6 +11,7 @@
 #include "coupling/patch.hpp"
 #include "mdengine/system.hpp"
 #include "ml/mlp.hpp"
+#include "ml/point_store.hpp"
 
 namespace mummi::coupling {
 
@@ -22,6 +23,12 @@ class PatchEncoder {
   PatchEncoder(int n_species, std::uint64_t seed, int out_dim = 9);
 
   [[nodiscard]] std::vector<float> encode(const Patch& patch) const;
+
+  /// Encodes straight into a flat store (the campaign bulk path): one row
+  /// appended under `id`, no intermediate HDPoint allocation.
+  void encode_into(const Patch& patch, ml::PointId id,
+                   ml::PointStore& out) const;
+
   [[nodiscard]] int out_dim() const { return mlp_.output_dim(); }
 
  private:
@@ -43,6 +50,12 @@ struct CgFrameInfo {
 
   [[nodiscard]] std::vector<float> descriptor() const {
     return {tilt, rotation, separation};
+  }
+  /// Appends the 3-D descriptor into a flat store under `id` — the Frame
+  /// Selector ingest path.
+  void descriptor_into(ml::PointId id, ml::PointStore& out) const {
+    const float d[3] = {tilt, rotation, separation};
+    out.add(id, d);
   }
   [[nodiscard]] util::Bytes serialize() const;
   static CgFrameInfo deserialize(const util::Bytes& bytes);

@@ -19,11 +19,11 @@ BinnedSampler::BinnedSampler(std::vector<std::vector<float>> edges,
                     "bin edges must be sorted");
     nbins *= e.size() + 1;
   }
-  bins_.resize(nbins);
+  bins_.assign(nbins, PointStore(static_cast<int>(dim_)));
   selected_per_bin_.assign(nbins, 0);
 }
 
-std::size_t BinnedSampler::bin_of(const std::vector<float>& coords) const {
+std::size_t BinnedSampler::bin_of(std::span<const float> coords) const {
   MUMMI_CHECK_MSG(coords.size() == dim_, "candidate dimension mismatch");
   std::size_t flat = 0;
   for (std::size_t d = 0; d < dim_; ++d) {
@@ -39,13 +39,22 @@ void BinnedSampler::add_candidates(const std::vector<HDPoint>& points) {
   std::vector<PointId> ids;
   ids.reserve(points.size());
   for (const auto& p : points) {
-    Bin& bin = bins_[bin_of(p.coords)];
-    bin.ids.push_back(p.id);
-    bin.coords.insert(bin.coords.end(), p.coords.begin(), p.coords.end());
+    bins_[bin_of(p.coords)].add(p.id, p.coords);
     ids.push_back(p.id);
     ++total_;
   }
   record('A', std::move(ids));
+}
+
+void BinnedSampler::add_candidates(const PointStore& points) {
+  MUMMI_CHECK_MSG(points.dim() == static_cast<int>(dim_),
+                  "candidate dimension mismatch");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = points.coords(i);
+    bins_[bin_of(c)].add(points.id(i), c);
+    ++total_;
+  }
+  record('A', points.ids());
 }
 
 void BinnedSampler::update_ranks() {
@@ -55,20 +64,7 @@ void BinnedSampler::update_ranks() {
 }
 
 HDPoint BinnedSampler::take_from_bin(std::size_t bin, std::size_t which) {
-  Bin& b = bins_[bin];
-  HDPoint out;
-  out.id = b.ids[which];
-  out.coords.assign(b.coords.begin() + static_cast<long>(which * dim_),
-                    b.coords.begin() + static_cast<long>((which + 1) * dim_));
-  // Swap-pop both arrays.
-  const std::size_t last = b.size() - 1;
-  b.ids[which] = b.ids[last];
-  b.ids.pop_back();
-  if (which != last)
-    std::copy(b.coords.begin() + static_cast<long>(last * dim_),
-              b.coords.begin() + static_cast<long>((last + 1) * dim_),
-              b.coords.begin() + static_cast<long>(which * dim_));
-  b.coords.resize(last * dim_);
+  HDPoint out = bins_[bin].swap_remove(which);
   --total_;
   ++selected_per_bin_[bin];
   ++n_selected_;
@@ -83,7 +79,7 @@ std::vector<HDPoint> BinnedSampler::select(std::size_t k) {
       // Novelty: the non-empty bin least represented among selections.
       std::size_t best = bins_.size();
       for (std::size_t b = 0; b < bins_.size(); ++b) {
-        if (bins_[b].size() == 0) continue;
+        if (bins_[b].empty()) continue;
         if (best == bins_.size() ||
             selected_per_bin_[b] < selected_per_bin_[best])
           best = b;
@@ -109,26 +105,40 @@ std::vector<HDPoint> BinnedSampler::select(std::size_t k) {
 
 util::Bytes BinnedSampler::serialize() const {
   util::ByteWriter w;
+  w.u8(kSerialVersion);
   w.u32(static_cast<std::uint32_t>(edges_.size()));
   for (const auto& e : edges_) w.vec(e);
   w.f64(importance_);
+  const auto rng_state = rng_.save_state();
+  for (const auto word : rng_state.s) w.u64(word);
+  w.u8(rng_state.has_spare ? 1 : 0);
+  w.f64(rng_state.spare);
   w.u64(n_selected_);
   w.vec(selected_per_bin_);
   w.u64(bins_.size());
-  for (const auto& b : bins_) {
-    w.vec(b.ids);
-    w.vec(b.coords);
-  }
+  for (const auto& b : bins_) b.serialize(w);
   return std::move(w).take();
 }
 
 BinnedSampler BinnedSampler::deserialize(const util::Bytes& bytes) {
   util::ByteReader r(bytes);
+  const auto version = r.u8();
+  if (version != kSerialVersion)
+    throw util::FormatError(
+        "binned sampler checkpoint version mismatch: expected v" +
+        std::to_string(kSerialVersion) + ", got byte " +
+        std::to_string(version) +
+        " (blob predates the flat selection-layer layout)");
   const auto ndims = r.u32();
   std::vector<std::vector<float>> edges(ndims);
   for (auto& e : edges) e = r.vec<float>();
   const double importance = r.f64();
   BinnedSampler s(std::move(edges), importance, /*seed=*/1);
+  util::Rng::State rng_state{};
+  for (auto& word : rng_state.s) word = r.u64();
+  rng_state.has_spare = r.u8() != 0;
+  rng_state.spare = r.f64();
+  s.rng_.load_state(rng_state);
   s.n_selected_ = r.u64();
   s.selected_per_bin_ = r.vec<std::uint64_t>();
   MUMMI_CHECK_MSG(s.selected_per_bin_.size() == s.bins_.size(),
@@ -136,11 +146,10 @@ BinnedSampler BinnedSampler::deserialize(const util::Bytes& bytes) {
   const auto nbins = r.u64();
   MUMMI_CHECK_MSG(nbins == s.bins_.size(), "corrupt binned-sampler stream");
   for (auto& b : s.bins_) {
-    b.ids = r.vec<PointId>();
-    b.coords = r.vec<float>();
-    MUMMI_CHECK_MSG(b.coords.size() == b.ids.size() * s.dim_,
+    b = PointStore::deserialize(r);
+    MUMMI_CHECK_MSG(b.dim() == static_cast<int>(s.dim_),
                     "corrupt binned-sampler stream");
-    s.total_ += b.ids.size();
+    s.total_ += b.size();
   }
   return s;
 }

@@ -22,12 +22,17 @@ namespace mummi::ml {
 
 class BinnedSampler final : public Sampler {
  public:
+  /// Serialization format version; v2 added the RNG state (restored samplers
+  /// continue the exact selection stream) and rejects pre-version blobs.
+  static constexpr std::uint8_t kSerialVersion = 2;
+
   /// `edges[d]` are the interior bin edges for dimension d (so a dimension
   /// with E edges has E+1 bins). `importance` in [0, 1].
   BinnedSampler(std::vector<std::vector<float>> edges, double importance,
                 std::uint64_t seed);
 
   void add_candidates(const std::vector<HDPoint>& points) override;
+  void add_candidates(const PointStore& points) override;
   std::vector<HDPoint> select(std::size_t k) override;
   void update_ranks() override;
 
@@ -38,7 +43,10 @@ class BinnedSampler final : public Sampler {
 
   [[nodiscard]] std::size_t n_bins() const { return bins_.size(); }
   /// Bin a point falls into (flat index) — exposed for tests.
-  [[nodiscard]] std::size_t bin_of(const std::vector<float>& coords) const;
+  [[nodiscard]] std::size_t bin_of(std::span<const float> coords) const;
+  [[nodiscard]] std::size_t bin_of(std::initializer_list<float> coords) const {
+    return bin_of(std::span<const float>(coords.begin(), coords.size()));
+  }
   /// How many selections came from each bin.
   [[nodiscard]] const std::vector<std::uint64_t>& selected_histogram() const {
     return selected_per_bin_;
@@ -48,22 +56,16 @@ class BinnedSampler final : public Sampler {
   static BinnedSampler deserialize(const util::Bytes& bytes);
 
  private:
-  /// Flat SoA storage: candidate i of a bin has ids[i] and coords
-  /// [i*dim, (i+1)*dim). Keeps per-candidate overhead at ~dim*4+8 bytes so
-  /// full-campaign loads (9M+ candidates) stay in memory.
-  struct Bin {
-    std::vector<PointId> ids;
-    std::vector<float> coords;
-    [[nodiscard]] std::size_t size() const { return ids.size(); }
-  };
-
+  // Each bin is a flat PointStore (shared SoA layout of the selection
+  // layer): per-candidate overhead is ~dim*4+8 bytes so full-campaign loads
+  // (9M+ candidates) stay in memory and selection streams linearly.
   HDPoint take_from_bin(std::size_t bin, std::size_t which);
 
   std::vector<std::vector<float>> edges_;
   std::size_t dim_ = 0;
   double importance_;
   util::Rng rng_;
-  std::vector<Bin> bins_;
+  std::vector<PointStore> bins_;
   std::vector<std::uint64_t> selected_per_bin_;
   std::size_t total_ = 0;
   std::size_t n_selected_ = 0;

@@ -6,7 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace mummi::ml {
 
@@ -17,11 +20,29 @@ struct HDPoint {
   std::vector<float> coords;
 };
 
-/// Squared L2 distance.
-[[nodiscard]] inline float dist2(const std::vector<float>& a,
-                                 const std::vector<float>& b) {
+/// Squared L2 distance over contiguous coordinate spans.
+///
+/// The 4-wide unroll feeds the compiler independent subtractions while
+/// keeping a *single* accumulator updated in index order, so every float
+/// rounding step matches the plain sequential loop bit-for-bit — rank values
+/// must not depend on which code path computed them.
+[[nodiscard]] inline float dist2(std::span<const float> a,
+                                 std::span<const float> b) {
+  MUMMI_DEBUG_ASSERT(a.size() == b.size(), "dist2 dimension mismatch");
+  const std::size_t n = a.size();
   float s = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s += d0 * d0;
+    s += d1 * d1;
+    s += d2 * d2;
+    s += d3 * d3;
+  }
+  for (; i < n; ++i) {
     const float d = a[i] - b[i];
     s += d * d;
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ml/point.hpp"
+#include "ml/point_store.hpp"
 #include "util/bytes.hpp"
 
 namespace mummi::ml {
@@ -31,6 +32,10 @@ class Sampler {
 
   /// Ingests candidates (cheap; ranking may be deferred).
   virtual void add_candidates(const std::vector<HDPoint>& points) = 0;
+
+  /// Ingests candidates already laid out flat — the bulk path encoders use;
+  /// no per-point allocation happens anywhere along it.
+  virtual void add_candidates(const PointStore& points) = 0;
 
   /// Returns up to k most novel candidates and removes them from the pool.
   /// Triggers any deferred rank updates.

@@ -74,3 +74,14 @@ namespace detail {
     if (!(expr))                                                            \
       ::mummi::util::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
   } while (0)
+
+/// Invariant check on hot paths: active in debug builds, compiled out under
+/// NDEBUG. Use where the cost of checking would dominate the checked work
+/// (e.g. per-distance dimension checks in the selection layer).
+#ifndef NDEBUG
+#define MUMMI_DEBUG_ASSERT(expr, msg) MUMMI_CHECK_MSG(expr, msg)
+#else
+#define MUMMI_DEBUG_ASSERT(expr, msg) \
+  do {                                \
+  } while (0)
+#endif

@@ -1,13 +1,24 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace mummi::util {
 
+namespace {
+// Set while a pool worker is executing a task; lets parallel_for_blocks run
+// nested calls inline instead of deadlocking on its own (possibly busy) pool.
+thread_local bool t_in_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t nthreads) {
   if (nthreads == 0) nthreads = std::max(1u, std::thread::hardware_concurrency());
-  workers_.reserve(nthreads);
-  for (std::size_t i = 0; i < nthreads; ++i)
+  target_ = nthreads;
+}
+
+void ThreadPool::spawn_workers() {
+  workers_.reserve(target_);
+  for (std::size_t i = 0; i < target_; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
@@ -31,7 +42,9 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    t_in_worker = true;
     task();
+    t_in_worker = false;
     {
       std::lock_guard lock(mutex_);
       --active_;
@@ -43,7 +56,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t nblocks = std::min(workers_.size(), n);
+  const std::size_t nblocks = std::min(target_, n);
   if (nblocks <= 1 || n < 64) {
     fn(0, n);
     return;
@@ -60,13 +73,46 @@ void ThreadPool::parallel_for(
   for (auto& f : futs) f.get();
 }
 
+void ThreadPool::parallel_for_blocks(
+    std::size_t n, std::size_t block,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (block == 0) block = 1;
+  const std::size_t nblocks = (n + block - 1) / block;
+  // The boundary sequence below depends only on (n, block); the worker count
+  // (and whether we execute inline) only changes *where* blocks run.
+  if (nblocks <= 1 || target_ <= 1 || t_in_worker) {
+    for (std::size_t b = 0; b < nblocks; ++b)
+      fn(b * block, std::min((b + 1) * block, n));
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(begin + block, n);
+    futs.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  // MUMMI_POOL_SIZE overrides the hardware-concurrency default; campaign
+  // output is identical for every setting (parallel_for_blocks pins block
+  // boundaries to the data, not the workers), and CI exercises that claim by
+  // rerunning benches under different sizes.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MUMMI_POOL_SIZE")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

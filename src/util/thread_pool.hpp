@@ -18,14 +18,18 @@ namespace mummi::util {
 
 class ThreadPool {
  public:
-  /// Spawns `nthreads` workers; 0 means std::thread::hardware_concurrency().
+  /// Pool of `nthreads` workers; 0 means std::thread::hardware_concurrency().
+  /// Worker threads are spawned lazily on the first `submit` — a pool whose
+  /// callers only ever take the inline paths (single worker, tiny ranges,
+  /// nested calls) never creates a thread, which keeps single-threaded
+  /// processes on the allocator's uncontended fast path.
   explicit ThreadPool(std::size_t nthreads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  [[nodiscard]] std::size_t size() const { return target_; }
 
   /// Enqueues a task; the future resolves with its result (or exception).
   template <typename F>
@@ -33,6 +37,7 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
+    std::call_once(spawned_, [this] { spawn_workers(); });
     {
       std::lock_guard lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
@@ -47,12 +52,26 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Like parallel_for, but the block boundaries are a function of `n` and
+  /// `block` only — NOT of the worker count. Any reduction whose result could
+  /// depend on block boundaries (e.g. per-block argmax merged with a
+  /// tie-break) is therefore identical on a 1-thread and a 64-thread pool.
+  /// Blocks are executed in unspecified order; fn must only touch state owned
+  /// by its [begin, end) range or merge results deterministically afterwards.
+  /// Safe to call from inside a worker task (runs inline, same boundaries).
+  void parallel_for_blocks(
+      std::size_t n, std::size_t block,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Blocks until every queued and running task has finished.
   void wait_idle();
 
  private:
   void worker_loop();
+  void spawn_workers();
 
+  std::size_t target_ = 1;
+  std::once_flag spawned_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;

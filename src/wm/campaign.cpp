@@ -279,23 +279,25 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
       result.ledger.bytes_continuum += config_.rates.continuum_snapshot_bytes;
       result.ledger.files_total += 1;
 
-      // Task 1: the Patch Creator cuts one patch per protein.
-      std::vector<std::vector<ml::HDPoint>> by_queue(
-          static_cast<std::size_t>(patch_selector_->n_queues()));
+      // Task 1: the Patch Creator cuts one patch per protein. Embeddings are
+      // written straight into per-queue flat stores — the selector ingest
+      // path is allocation-free end to end.
+      std::vector<ml::PointStore> by_queue(
+          static_cast<std::size_t>(patch_selector_->n_queues()),
+          ml::PointStore(9));
+      float coords[9];
       for (int p = 0; p < config_.proteins_per_snapshot; ++p) {
-        ml::HDPoint point;
-        point.id = next_patch_id_++;
-        point.coords.resize(9);
+        const ml::PointId id = next_patch_id_++;
         // Synthetic metric-space embedding: smooth drift + noise, so novelty
         // structure exists for FPS to exploit.
         for (int d = 0; d < 9; ++d)
-          point.coords[static_cast<std::size_t>(d)] = static_cast<float>(
-              std::sin(0.01 * static_cast<double>(point.id) + d) +
+          coords[d] = static_cast<float>(
+              std::sin(0.01 * static_cast<double>(id) + d) +
               0.3 * rng_.normal());
         const auto state = rng_.uniform_index(cont::kNumProteinStates);
         const bool multi = rng_.uniform() < 0.2;  // multi-protein patches
         const std::size_t queue = multi ? 4 : state;
-        by_queue[queue].push_back(std::move(point));
+        by_queue[queue].add(id, coords);
       }
       std::size_t created = 0;
       for (int q = 0; q < patch_selector_->n_queues(); ++q) {
@@ -325,18 +327,17 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
       const auto n = static_cast<std::size_t>(
           std::max(0.0, rng_.normal(mean, std::sqrt(std::max(mean, 1.0)))));
       if (n > 0) {
-        std::vector<ml::HDPoint> frames;
+        ml::PointStore frames(3);
         frames.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-          ml::HDPoint point;
-          point.id = next_frame_id_++;
+          const ml::PointId id = next_frame_id_++;
           const float tilt =
               static_cast<float>(90.0 * std::sqrt(rng_.uniform()));
           const float rot = static_cast<float>(rng_.uniform(0.0, 360.0));
           const float sep =
               static_cast<float>(std::min(3.0, rng_.exponential(1.0)));
-          point.coords = {tilt, rot, sep};
-          frames.push_back(std::move(point));
+          const float coords[3] = {tilt, rot, sep};
+          frames.add(id, coords);
         }
         result.frame_candidates += n;
         result.ledger.files_total += n;  // the ~850 B id records

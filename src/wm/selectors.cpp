@@ -18,22 +18,53 @@ void PatchSelector::add(int queue, const std::vector<ml::HDPoint>& points) {
   queues_[static_cast<std::size_t>(queue)]->add_candidates(points);
 }
 
+void PatchSelector::add(int queue, const ml::PointStore& points) {
+  std::lock_guard lock(mutex_);
+  MUMMI_CHECK_MSG(queue >= 0 && queue < n_queues(), "queue out of range");
+  queues_[static_cast<std::size_t>(queue)]->add_candidates(points);
+}
+
 std::vector<PatchSelection> PatchSelector::select(std::size_t k) {
   std::lock_guard lock(mutex_);
-  std::vector<PatchSelection> out;
+  const auto nq = queues_.size();
   // Round-robin across queues so every protein-configuration class keeps
-  // getting representation.
+  // getting representation. The walk is simulated against per-queue counts
+  // first (a queue serves a pick iff it is non-empty — selection never
+  // empties a non-empty pool), then each queue fills its share in one
+  // batched select. Per-queue selection order is independent of the other
+  // queues, so the interleaved result matches the per-pick loop exactly.
+  std::vector<std::size_t> avail(nq), want(nq, 0);
+  for (std::size_t q = 0; q < nq; ++q)
+    avail[q] = std::min(queues_[q]->candidate_count(), capacity_);
+  std::vector<int> pick_order;
+  pick_order.reserve(k);
   std::size_t empty_streak = 0;
-  while (out.size() < k && empty_streak < queues_.size()) {
-    auto& queue = *queues_[static_cast<std::size_t>(next_queue_)];
-    auto picked = queue.select(1);
-    if (picked.empty()) {
-      ++empty_streak;
-    } else {
+  while (pick_order.size() < k && empty_streak < nq) {
+    const auto q = static_cast<std::size_t>(next_queue_);
+    if (avail[q] > 0) {
+      --avail[q];
+      ++want[q];
+      pick_order.push_back(next_queue_);
       empty_streak = 0;
-      out.push_back(PatchSelection{std::move(picked.front()), next_queue_});
+    } else {
+      ++empty_streak;
     }
     next_queue_ = (next_queue_ + 1) % n_queues();
+  }
+
+  std::vector<std::vector<ml::HDPoint>> picked(nq);
+  for (std::size_t q = 0; q < nq; ++q)
+    if (want[q] > 0) picked[q] = queues_[q]->select(want[q]);
+
+  std::vector<PatchSelection> out;
+  out.reserve(pick_order.size());
+  std::vector<std::size_t> cursor(nq, 0);
+  for (const int q : pick_order) {
+    auto& from = picked[static_cast<std::size_t>(q)];
+    MUMMI_CHECK_MSG(cursor[static_cast<std::size_t>(q)] < from.size(),
+                    "queue under-served its simulated picks");
+    out.push_back(PatchSelection{
+        std::move(from[cursor[static_cast<std::size_t>(q)]++]), q});
   }
   return out;
 }
@@ -107,6 +138,11 @@ FrameSelector::FrameSelector(double importance, std::uint64_t seed)
                                                    seed)) {}
 
 void FrameSelector::add(const std::vector<ml::HDPoint>& points) {
+  std::lock_guard lock(mutex_);
+  sampler_->add_candidates(points);
+}
+
+void FrameSelector::add(const ml::PointStore& points) {
   std::lock_guard lock(mutex_);
   sampler_->add_candidates(points);
 }

@@ -35,9 +35,14 @@ class PatchSelector {
 
   /// Ingests encoded patches; `queue_of(id)` routing is supplied per point.
   void add(int queue, const std::vector<ml::HDPoint>& points);
+  /// Flat-store ingest — the allocation-free path encoders emit into.
+  void add(int queue, const ml::PointStore& points);
 
   /// Selects up to k candidates round-robin across queues, most novel first
-  /// within each queue.
+  /// within each queue. Batched: the round-robin pick order is computed
+  /// up-front from per-queue candidate counts, then each queue serves its
+  /// share in ONE select call — same sequence as k select(1) round-robin
+  /// steps, minus the per-pick rank-refresh overhead.
   [[nodiscard]] std::vector<PatchSelection> select(std::size_t k);
 
   /// Forces rank refresh on all queues (the 3-4 minute operation the paper
@@ -68,6 +73,7 @@ class FrameSelector {
   FrameSelector(double importance, std::uint64_t seed);
 
   void add(const std::vector<ml::HDPoint>& points);
+  void add(const ml::PointStore& points);
   [[nodiscard]] std::vector<ml::HDPoint> select(std::size_t k);
 
   [[nodiscard]] std::size_t candidate_count() const;

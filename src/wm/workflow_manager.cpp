@@ -55,7 +55,15 @@ void WorkflowManager::ingest_patches(int queue,
   patch_selector_.add(queue, points);
 }
 
+void WorkflowManager::ingest_patches(int queue, const ml::PointStore& points) {
+  patch_selector_.add(queue, points);
+}
+
 void WorkflowManager::ingest_frames(const std::vector<ml::HDPoint>& points) {
+  frame_selector_.add(points);
+}
+
+void WorkflowManager::ingest_frames(const ml::PointStore& points) {
   frame_selector_.add(points);
 }
 
@@ -97,10 +105,18 @@ int WorkflowManager::maintain(int submit_budget) {
   // Setups: keep the prepared buffers near target without oversubscribing
   // CPUs ("a full buffer prevents new setup jobs"; CPU jobs run "only when
   // needed to prevent simulations of stale configurations").
+  //
+  // The deficit is computed ONCE in closed form. Submitting does not change
+  // running counts, the ready buffer or free cores (allocation happens at
+  // poll()); only pending(setup_type) advances by one per submit. The seed's
+  // per-iteration select(1) loop therefore reduces to a min over three
+  // bounds, and the selectors are consulted in one batched select — same
+  // submission sequence, one rank refresh instead of one per pick.
   auto fill_setups = [&](const std::string& setup_type,
                          const std::string& sim_type,
-                         std::deque<std::uint64_t>& ready, int headroom,
-                         int sim_capacity, auto select_one) {
+                         std::deque<std::uint64_t>& ready,
+                         std::deque<std::uint64_t>& requeued, int headroom,
+                         int sim_capacity, auto select_batch) {
     if (setup_type.empty()) return;
     const auto& tracker = trackers_.tracker(setup_type);
     const int cores_each = tracker.config().request.slot.cores *
@@ -110,40 +126,46 @@ int WorkflowManager::maintain(int submit_budget) {
     const int sim_deficit =
         std::max(0, sim_capacity - running(sim_type) - pending(sim_type));
     const int target = sim_deficit + headroom;
-    while (submitted < submit_budget) {
-      const int inflight = running(setup_type) + pending(setup_type);
-      if (static_cast<int>(ready.size()) + inflight >= target) break;
+    const int p0 = pending(setup_type);
+    const int inflight = running(setup_type) + p0;
+    long n = std::min<long>(submit_budget - submitted,
+                            static_cast<long>(target) -
+                                static_cast<long>(ready.size()) - inflight);
+    if (cores_each > 0) {
       // CPU headroom: free cores must cover queued-but-unplaced setups too.
-      const int needed = (pending(setup_type) + 1) * cores_each;
-      if (scheduler.graph().total_free_cores() < needed) break;
-      const auto payload = select_one();
-      if (!payload) break;  // selector exhausted
-      submitted += submit_via_tracker(setup_type, *payload);
+      const long by_cores =
+          scheduler.graph().total_free_cores() / cores_each - p0;
+      n = std::min(n, by_cores);
     }
+    if (n <= 0) return;
+    // Interrupted setups drain before new selections are made.
+    while (n > 0 && !requeued.empty()) {
+      submitted += submit_via_tracker(setup_type, requeued.front());
+      requeued.pop_front();
+      --n;
+    }
+    if (n > 0)
+      for (const auto payload : select_batch(static_cast<std::size_t>(n)))
+        submitted += submit_via_tracker(setup_type, payload);
   };
   fill_setups(config_.cg_setup_type, config_.cg_sim_type, ready_cg_,
-              config_.cg_ready_target, cg_capacity(),
-              [this]() -> std::optional<std::uint64_t> {
-                if (!requeued_cg_setup_.empty()) {
-                  const auto payload = requeued_cg_setup_.front();
-                  requeued_cg_setup_.pop_front();
-                  return payload;
-                }
-                auto picks = patch_selector_.select(1);
-                if (picks.empty()) return std::nullopt;
-                return picks.front().point.id;
+              requeued_cg_setup_, config_.cg_ready_target, cg_capacity(),
+              [this](std::size_t m) {
+                std::vector<std::uint64_t> payloads;
+                auto picks = patch_selector_.select(m);
+                payloads.reserve(picks.size());
+                for (const auto& pick : picks)
+                  payloads.push_back(pick.point.id);
+                return payloads;
               });
   fill_setups(config_.aa_setup_type, config_.aa_sim_type, ready_aa_,
-              config_.aa_ready_target, aa_capacity(),
-              [this]() -> std::optional<std::uint64_t> {
-                if (!requeued_aa_setup_.empty()) {
-                  const auto payload = requeued_aa_setup_.front();
-                  requeued_aa_setup_.pop_front();
-                  return payload;
-                }
-                auto picks = frame_selector_.select(1);
-                if (picks.empty()) return std::nullopt;
-                return picks.front().id;
+              requeued_aa_setup_, config_.aa_ready_target, aa_capacity(),
+              [this](std::size_t m) {
+                std::vector<std::uint64_t> payloads;
+                auto picks = frame_selector_.select(m);
+                payloads.reserve(picks.size());
+                for (const auto& pick : picks) payloads.push_back(pick.id);
+                return payloads;
               });
 
   if (submitted > 0) maestro_.poll();

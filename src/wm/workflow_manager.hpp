@@ -56,9 +56,12 @@ class WorkflowManager {
   WorkflowManager(WmConfig config, Maestro& maestro, TrackerSet& trackers,
                   PatchSelector& patch_selector, FrameSelector& frame_selector);
 
-  /// Task 1 entry points.
+  /// Task 1 entry points. The PointStore overloads are the bulk path —
+  /// encoders emit straight into flat stores, no per-point allocations.
   void ingest_patches(int queue, const std::vector<ml::HDPoint>& points);
+  void ingest_patches(int queue, const ml::PointStore& points);
   void ingest_frames(const std::vector<ml::HDPoint>& points);
+  void ingest_frames(const ml::PointStore& points);
 
   /// Task 3: refills the machine. Submits at most `submit_budget` jobs (the
   /// WM's submission throttle); returns how many were submitted.

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mummi::ml {
 namespace {
@@ -122,6 +125,61 @@ TEST(KdTreeIndex, DuplicatePointsAllReturned) {
   const auto nn = index.knn({1, 1}, 5);
   EXPECT_EQ(nn.size(), 5u);
   for (const auto& n : nn) EXPECT_FLOAT_EQ(n.dist2, 0.0f);
+}
+
+TEST(KdTreeIndex, FlushFoldsBufferWithoutChangingResults) {
+  const auto points = random_points(300, 3, 8);
+  KdTreeIndex index(3);
+  for (const auto& p : points) index.add(p);
+  const auto before = index.knn({0.1f, -0.2f, 0.3f}, 7);
+  index.flush();
+  EXPECT_EQ(index.size(), 300u);
+  const auto after = index.knn({0.1f, -0.2f, 0.3f}, 7);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].id, before[i].id);
+    EXPECT_EQ(after[i].dist2, before[i].dist2);
+  }
+}
+
+TEST(KdTreeIndex, KnnBatchMatchesPerQueryKnn) {
+  const int dim = 4;
+  const auto points = random_points(500, dim, 21);
+  KdTreeIndex index(dim);
+  BruteForceIndex brute;
+  for (const auto& p : points) {
+    index.add(p);
+    brute.add(p);
+  }
+  index.flush();
+
+  const auto queries = random_points(64, dim, 22);
+  PointStore qs(dim);
+  for (const auto& q : queries) qs.add(q);
+  constexpr std::size_t k = 5;
+  std::vector<Neighbor> out(qs.size() * k);
+  util::ThreadPool pool(3);
+  index.knn_batch(qs.flat(), qs.size(), k, out, &pool);
+  for (std::size_t q = 0; q < qs.size(); ++q) {
+    const auto want = brute.knn(qs.coords(q), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(out[q * k + i].id, want[i].id) << "query " << q;
+      EXPECT_EQ(out[q * k + i].dist2, want[i].dist2) << "query " << q;
+    }
+  }
+}
+
+TEST(KdTreeIndex, KnnBatchPadsWhenIndexSmall) {
+  KdTreeIndex index(2);
+  index.add({1, {0, 0}});
+  PointStore qs(2);
+  const float q0[2] = {1, 1};
+  qs.add(9, q0);
+  std::vector<Neighbor> out(3);
+  index.knn_batch(qs.flat(), 1, 3, out, nullptr);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].dist2, std::numeric_limits<float>::infinity());
+  EXPECT_EQ(out[2].dist2, std::numeric_limits<float>::infinity());
 }
 
 }  // namespace

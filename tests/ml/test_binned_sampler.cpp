@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "util/error.hpp"
+
 namespace mummi::ml {
 namespace {
 
@@ -135,6 +137,31 @@ TEST(BinnedSampler, SerializeRoundTrip) {
   EXPECT_EQ(b.selected_count(), a.selected_count());
   EXPECT_EQ(b.selected_histogram(), a.selected_histogram());
   EXPECT_EQ(b.n_bins(), a.n_bins());
+}
+
+TEST(BinnedSampler, RestoredSamplerContinuesExactStream) {
+  // v2 persists the RNG state: a restored sampler must make the same picks
+  // as the original would have, not restart its random stream.
+  BinnedSampler a(edges_3d(), 0.5, 17);
+  a.add_candidates(corner_points(40));
+  (void)a.select(9);  // advance the RNG mid-stream
+  BinnedSampler b = BinnedSampler::deserialize(a.serialize());
+  for (int round = 0; round < 6; ++round) {
+    const auto want = a.select(4);
+    const auto got = b.select(4);
+    ASSERT_EQ(got.size(), want.size()) << round;
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i].id, want[i].id) << round;
+  }
+}
+
+TEST(BinnedSampler, DeserializeRejectsVersionMismatch) {
+  BinnedSampler a(edges_3d(), 0.5, 1);
+  auto bytes = a.serialize();
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes[0], BinnedSampler::kSerialVersion);
+  bytes[0] = 1;  // masquerade as an older format
+  EXPECT_THROW((void)BinnedSampler::deserialize(bytes), util::FormatError);
 }
 
 TEST(BinnedSampler, InvalidConstructionRejected) {

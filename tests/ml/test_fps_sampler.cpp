@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace mummi::ml {
@@ -163,6 +164,25 @@ TEST(FpsSampler, SerializeRoundTripPreservesBehaviour) {
     ASSERT_EQ(pa.empty(), pb.empty());
     if (!pa.empty()) EXPECT_EQ(pa[0].id, pb[0].id);
   }
+}
+
+TEST(FpsSampler, DeserializeRejectsVersionMismatch) {
+  // Pre-versioning blobs started with the u32 dim, so their first byte is
+  // the low byte of a small integer (e.g. 9) — never kSerialVersion. Such a
+  // blob must fail loudly, not be misparsed.
+  util::ByteWriter w;
+  w.u32(9);     // old layout: dim first
+  w.u64(1000);  // capacity
+  EXPECT_THROW((void)FpsSampler::deserialize(std::move(w).take()),
+               util::FormatError);
+}
+
+TEST(FpsSampler, SerializedBlobLeadsWithVersionByte) {
+  FpsSampler fps(2, 100);
+  fps.add_candidates(grid_points(3));
+  const auto bytes = fps.serialize();
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes[0], FpsSampler::kSerialVersion);
 }
 
 TEST(FpsSampler, DimensionMismatchRejected) {

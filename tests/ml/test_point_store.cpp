@@ -1,0 +1,106 @@
+#include "ml/point_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mummi::ml {
+namespace {
+
+TEST(PointStore, AddAndAccess) {
+  PointStore store(3);
+  EXPECT_EQ(store.dim(), 3);
+  EXPECT_TRUE(store.empty());
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {4, 5, 6};
+  EXPECT_EQ(store.add(10, a), 0u);
+  EXPECT_EQ(store.add(20, b), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.id(0), 10u);
+  EXPECT_EQ(store.id(1), 20u);
+  EXPECT_EQ(store.coords(1)[0], 4.0f);
+  EXPECT_EQ(store.flat().size(), 6u);
+  EXPECT_EQ(store.flat()[5], 6.0f);
+}
+
+TEST(PointStore, AddHdPointAndMaterialize) {
+  PointStore store(2);
+  store.add(HDPoint{7, {1.5f, -2.5f}});
+  const HDPoint out = store.materialize(0);
+  EXPECT_EQ(out.id, 7u);
+  EXPECT_EQ(out.coords, (std::vector<float>{1.5f, -2.5f}));
+}
+
+TEST(PointStore, SwapRemoveMovesLastIntoHole) {
+  PointStore store(1);
+  const float c0[1] = {0}, c1[1] = {1}, c2[1] = {2};
+  store.add(100, c0);
+  store.add(101, c1);
+  store.add(102, c2);
+  const HDPoint removed = store.swap_remove(0);
+  EXPECT_EQ(removed.id, 100u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.id(0), 102u);  // last point moved into slot 0
+  EXPECT_EQ(store.coords(0)[0], 2.0f);
+  EXPECT_EQ(store.id(1), 101u);
+}
+
+TEST(PointStore, SwapRemoveLastSlot) {
+  PointStore store(1);
+  const float c0[1] = {0}, c1[1] = {1};
+  store.add(1, c0);
+  store.add(2, c1);
+  const HDPoint removed = store.swap_remove(1);
+  EXPECT_EQ(removed.id, 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.id(0), 1u);
+}
+
+TEST(PointStore, AppendConcatenates) {
+  PointStore a(2), b(2);
+  const float p[2] = {1, 2}, q[2] = {3, 4};
+  a.add(1, p);
+  b.add(2, q);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.id(1), 2u);
+  EXPECT_EQ(a.coords(1)[1], 4.0f);
+}
+
+TEST(PointStore, AppendDimMismatchRejected) {
+  PointStore a(2), b(3);
+  EXPECT_THROW(a.append(b), util::Error);
+}
+
+TEST(PointStore, SerializeRoundTrip) {
+  PointStore store(3);
+  const float a[3] = {0.5f, -1.25f, 9.0f};
+  const float b[3] = {7.0f, 8.0f, -0.125f};
+  store.add(42, a);
+  store.add(43, b);
+  util::ByteWriter w;
+  store.serialize(w);
+  const util::Bytes bytes = std::move(w).take();
+  util::ByteReader r(bytes);
+  const PointStore back = PointStore::deserialize(r);
+  ASSERT_EQ(back.dim(), 3);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.id(0), 42u);
+  EXPECT_EQ(back.id(1), 43u);
+  for (std::size_t i = 0; i < back.flat().size(); ++i)
+    EXPECT_EQ(back.flat()[i], store.flat()[i]);
+}
+
+TEST(PointStore, DeserializeRejectsInconsistentCounts) {
+  // Hand-built blob: dim=2, 2 ids but only 1 point's worth of coords.
+  util::ByteWriter w;
+  w.u32(2);
+  w.vec(std::vector<PointId>{1, 2});
+  w.vec(std::vector<float>{0.0f, 1.0f});
+  const util::Bytes bytes = std::move(w).take();
+  util::ByteReader r(bytes);
+  EXPECT_THROW(PointStore::deserialize(r), util::FormatError);
+}
+
+}  // namespace
+}  // namespace mummi::ml

@@ -1,0 +1,111 @@
+// Equivalence property: the optimized FpsSampler (SoA store, lazy max-heap,
+// kd-assisted parallel rank updates) must reproduce the naive FpsReference's
+// selection sequence byte-for-byte — same ids, in the same order — across
+// randomized seeds, dimensions and batch sizes. This is the determinism
+// contract that keeps campaign output independent of the selection engine's
+// internals (and of the thread-pool size driving its rank updates).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/fps_reference.hpp"
+#include "ml/fps_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace mummi {
+namespace {
+
+std::vector<ml::HDPoint> random_batch(int n, int dim, util::Rng& rng,
+                                      ml::PointId& next) {
+  std::vector<ml::HDPoint> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ml::HDPoint p;
+    p.id = next++;
+    p.coords.resize(static_cast<std::size_t>(dim));
+    for (auto& c : p.coords) c = static_cast<float>(rng.normal());
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<ml::PointId> ids_of(const std::vector<ml::HDPoint>& pts) {
+  std::vector<ml::PointId> out;
+  out.reserve(pts.size());
+  for (const auto& p : pts) out.push_back(p.id);
+  return out;
+}
+
+class FpsEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(FpsEquivalence, MatchesNaiveReferenceSelectionSequence) {
+  const auto [dim, seed] = GetParam();
+  util::Rng rng(seed);
+  // Small capacity so eviction paths are exercised too.
+  const std::size_t capacity = 60 + rng.uniform_index(80);
+  ml::FpsSampler fast(dim, capacity);
+  fast.set_history_enabled(false);
+  ml::FpsReference naive(dim, capacity);
+
+  ml::PointId next = 1;
+  for (int round = 0; round < 10; ++round) {
+    const int batch = 1 + static_cast<int>(rng.uniform_index(70));
+    const auto points = random_batch(batch, dim, rng, next);
+    fast.add_candidates(points);
+    naive.add_candidates(points);
+
+    // Mix batched picks with interleaved rank updates, including k larger
+    // than the pool on some rounds.
+    const auto k = rng.uniform_index(12);
+    if (rng.uniform() < 0.3) {
+      fast.update_ranks();
+      naive.update_ranks();
+    }
+    const auto got = ids_of(fast.select(k));
+    const auto want = ids_of(naive.select(k));
+    ASSERT_EQ(got, want) << "divergence at round " << round << " (dim " << dim
+                         << ", seed " << seed << ", k " << k << ")";
+    ASSERT_EQ(fast.candidate_count(), naive.candidate_count());
+    ASSERT_EQ(fast.selected_count(), naive.selected_count());
+  }
+
+  // Drain both pools completely: every remaining pick must still agree.
+  const auto got = ids_of(fast.select(fast.candidate_count() + 5));
+  const auto want = ids_of(naive.select(naive.candidate_count() + 5));
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(fast.candidate_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, FpsEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 9, 16),
+                       ::testing::Values(11u, 97u, 2026u)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Serialization in the middle of a campaign must not perturb the stream:
+// restore from bytes, keep selecting, still match the reference.
+TEST(FpsEquivalence, RoundTripMidStreamKeepsSequence) {
+  util::Rng rng(5);
+  ml::FpsSampler fast(4, 200);
+  ml::FpsReference naive(4, 200);
+  ml::PointId next = 1;
+  const auto first = random_batch(150, 4, rng, next);
+  fast.add_candidates(first);
+  naive.add_candidates(first);
+  ASSERT_EQ(ids_of(fast.select(20)), ids_of(naive.select(20)));
+
+  ml::FpsSampler restored = ml::FpsSampler::deserialize(fast.serialize());
+  restored.set_history_enabled(false);
+  const auto second = random_batch(80, 4, rng, next);
+  restored.add_candidates(second);
+  naive.add_candidates(second);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_EQ(ids_of(restored.select(7)), ids_of(naive.select(7))) << i;
+}
+
+}  // namespace
+}  // namespace mummi

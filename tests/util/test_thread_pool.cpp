@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <utility>
 
 namespace mummi::util {
 namespace {
@@ -65,6 +67,85 @@ TEST(ThreadPool, WaitIdleBlocksUntilDone) {
     });
   pool.wait_idle();
   EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForBlocksCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_blocks(1000, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForBlocksBoundariesIndependentOfPoolSize) {
+  // The determinism contract: the set of [lo, hi) blocks is a function of
+  // (n, block) only, so any per-block reduction is identical on every pool.
+  auto block_set = [](ThreadPool& pool, std::size_t n, std::size_t block) {
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;
+    pool.parallel_for_blocks(n, block, [&](std::size_t lo, std::size_t hi) {
+      std::lock_guard lock(m);
+      blocks.emplace_back(lo, hi);
+    });
+    std::sort(blocks.begin(), blocks.end());
+    return blocks;
+  };
+  ThreadPool p1(1), p2(2), p4(4);
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 1000u, 4096u}) {
+    const auto want = block_set(p1, n, 64);
+    EXPECT_EQ(block_set(p2, n, 64), want) << "n=" << n;
+    EXPECT_EQ(block_set(p4, n, 64), want) << "n=" << n;
+  }
+}
+
+TEST(ThreadPool, ParallelForBlocksNestedInsideWorkerRunsInline) {
+  // A worker task issuing its own parallel_for_blocks must not deadlock
+  // waiting on the (occupied) pool — the nested call runs inline.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 4; ++t)
+    futures.push_back(pool.submit([&pool, &total] {
+      pool.parallel_for_blocks(100, 10, [&](std::size_t lo, std::size_t hi) {
+        total += static_cast<int>(hi - lo);
+      });
+    }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, ParallelForBlocksPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_blocks(1000, 16,
+                               [&](std::size_t lo, std::size_t) {
+                                 if (lo == 512) throw std::runtime_error("x");
+                               }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleUnderConcurrentEnqueue) {
+  // wait_idle must drain everything enqueued before the call even while
+  // another thread keeps feeding the pool.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    while (!stop.load()) {
+      pool.submit([&done] { ++done; });
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const int before = done.load();
+    pool.submit([&done] { ++done; });
+    pool.wait_idle();
+    EXPECT_GT(done.load(), before);
+  }
+  stop = true;
+  feeder.join();
+  pool.wait_idle();
 }
 
 TEST(ThreadPool, SizeMatchesRequest) {
