@@ -5,16 +5,28 @@
 //
 // Paper rates at 4000-node scale: ~10,000 key-retrievals+deletions/s and
 // ~2000 value-reads/s; one outlier iteration with ~70k accumulated frames.
+//
+// Each query phase runs inside an obs::Span, and every iteration appends a
+// registry snapshot to a TelemetryReport, so the per-op KV counters and cost
+// histograms land in bench_outputs/telemetry_kv.json alongside the table.
 
 #include <cstdio>
+#include <filesystem>
 
 #include "datastore/kv_cluster.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
 using namespace mummi;
 
 int main() {
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().clear();
+  obs::TelemetryReport report("fig7_kv_feedback");
+
   std::printf("=== Figure 7: in-memory KV cluster feedback queries "
               "(20 servers) ===\n\n");
   std::printf("%10s %14s %16s %14s | %12s %12s\n", "#frames",
@@ -24,29 +36,71 @@ int main() {
               "(model s)", "(model s)", "(measured s)", "(measured s)");
 
   util::Rng rng(4);
+  double virtual_now = 0.0;
   for (int frames : {5000, 10000, 20000, 30000, 40000, 50000, 60000, 70000}) {
     ds::KvCluster kv(20);
     // Each pending frame: an RDF record of a few KB under "rdf:<id>".
     util::Bytes payload(3500);
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
-    for (int i = 0; i < frames; ++i)
-      kv.set("rdf:" + std::to_string(i), payload);
+    {
+      obs::Span span("fig7.populate", "kv");
+      for (int i = 0; i < frames; ++i)
+        kv.set("rdf:" + std::to_string(i), payload);
+    }
     kv.reset_sim_time();
 
     util::Stopwatch wall;
-    const auto keys = kv.keys("rdf:*");
+    std::vector<std::string> keys;
+    {
+      obs::Span span("fig7.retrieve_keys", "kv");
+      keys = kv.keys("rdf:*");
+    }
     const double wall_keys = wall.elapsed();
 
     wall.reset();
-    for (const auto& key : keys) (void)kv.get(key);
+    {
+      obs::Span span("fig7.retrieve_values", "kv");
+      for (const auto& key : keys) (void)kv.get(key);
+    }
     const double wall_values = wall.elapsed();
 
-    for (const auto& key : keys) kv.del(key);
+    {
+      obs::Span span("fig7.delete_pairs", "kv");
+      for (const auto& key : keys) kv.del(key);
+    }
 
     std::printf("%10d %14.2f %16.2f %14.2f | %12.4f %12.4f\n", frames,
                 kv.sim_seconds_keys(), kv.sim_seconds_reads(),
                 kv.sim_seconds_deletes(), wall_keys, wall_values);
+
+    // Snapshot after each iteration, stamped with accumulated model time —
+    // the same timeline the table's model columns report.
+    virtual_now += kv.sim_seconds_keys() + kv.sim_seconds_reads() +
+                   kv.sim_seconds_deletes() + kv.sim_seconds_writes();
+    report.sample(virtual_now);
   }
+
+  if (obs::kCompiledIn) {
+    std::printf("\nregistry KV op counts: set=%llu get=%llu del=%llu "
+                "keys=%llu\n",
+                static_cast<unsigned long long>(
+                    obs::counter("kv.ops.set").value()),
+                static_cast<unsigned long long>(
+                    obs::counter("kv.ops.get").value()),
+                static_cast<unsigned long long>(
+                    obs::counter("kv.ops.del").value()),
+                static_cast<unsigned long long>(
+                    obs::counter("kv.ops.keys").value()));
+    std::printf("\nspan summary:\n%s",
+                obs::Tracer::instance().summary().c_str());
+  }
+
+  std::filesystem::create_directories("bench_outputs");
+  if (!report.write_json("bench_outputs/telemetry_kv.json")) {
+    std::fprintf(stderr, "cannot write bench_outputs/telemetry_kv.json\n");
+    return 1;
+  }
+  std::printf("\nwrote bench_outputs/telemetry_kv.json\n");
 
   std::printf("\nshape checks (model columns, calibrated to the paper's "
               "measured rates):\n");

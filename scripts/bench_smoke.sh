@@ -48,4 +48,60 @@ run_bench bench_sched_matcher sched_matcher.json --small
 run_bench bench_table1_campaign table1.json --small
 run_bench bench_resilience resilience.json
 
+# Telemetry contract: fig5 writes the campaign telemetry series plus a Chrome
+# trace; fig7 writes the KV telemetry series. Validate both shapes beyond the
+# plain "bench" key — snapshots/final structure and trace-event required keys.
+check_telemetry() {
+  local path="$1"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("bench", "snapshots", "final"):
+    if key not in doc:
+        sys.exit(f"{sys.argv[1]}: missing '{key}' key")
+if not isinstance(doc["snapshots"], list) or not doc["snapshots"]:
+    sys.exit(f"{sys.argv[1]}: 'snapshots' must be a non-empty list")
+for snap in doc["snapshots"] + [doc["final"]]:
+    for key in ("time", "counters", "gauges", "histograms"):
+        if key not in snap:
+            sys.exit(f"{sys.argv[1]}: snapshot missing '{key}'")
+EOF
+  else
+    grep -q '"snapshots"' "$path" && grep -q '"final"' "$path"
+  fi
+  echo "    $path telemetry OK"
+}
+
+check_chrome_trace() {
+  local path="$1"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc.get("traceEvents")
+if not isinstance(events, list) or not events:
+    sys.exit(f"{sys.argv[1]}: 'traceEvents' must be a non-empty list")
+for ev in events:
+    for key in ("name", "ph", "pid", "tid", "ts"):
+        if key not in ev:
+            sys.exit(f"{sys.argv[1]}: event missing '{key}': {ev}")
+    if ev["ph"] == "X" and "dur" not in ev:
+        sys.exit(f"{sys.argv[1]}: complete event missing 'dur': {ev}")
+EOF
+  else
+    grep -q '"traceEvents"' "$path" && grep -q '"ph"' "$path"
+  fi
+  echo "    $path chrome trace OK"
+}
+
+rm -f bench_outputs/trace_fig5.json
+run_bench bench_fig5_occupancy telemetry.json --small
+check_telemetry bench_outputs/telemetry.json
+check_chrome_trace bench_outputs/trace_fig5.json
+run_bench bench_fig7_kv_feedback telemetry_kv.json
+check_telemetry bench_outputs/telemetry_kv.json
+
 echo "=== bench smoke: PASS ==="

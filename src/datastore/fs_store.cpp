@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "obs/metrics.hpp"
 #include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -44,6 +45,11 @@ std::uint64_t FsStore::io_retries() const {
 
 void FsStore::armored(const char* what,
                       const std::function<void()>& io) const {
+  static obs::Counter& ops = obs::counter("fs.ops");
+  static obs::Counter& retries = obs::counter("fs.retries");
+  static obs::Counter& injected_failures = obs::counter("fs.injected_failures");
+  static obs::Counter& failures = obs::counter("fs.failures");
+  ops.inc();
   const util::SleepFn sleep =
       retry_.sleep ? retry_.sleep : util::wall_sleeper();
   std::string last_error = "unavailable";
@@ -57,7 +63,9 @@ void FsStore::armored(const char* what,
         injected = true;
       }
     }
+    if (attempt > 0) retries.inc();
     if (injected) {
+      injected_failures.inc();
       last_error = "injected I/O failure";
     } else {
       try {
@@ -76,6 +84,7 @@ void FsStore::armored(const char* what,
       sleep(delay);
     }
   }
+  failures.inc();
   throw util::UnavailableError(std::string("fs store ") + what +
                                " failed after retries: " + last_error);
 }

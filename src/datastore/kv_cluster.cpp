@@ -1,15 +1,28 @@
 #include "datastore/kv_cluster.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace mummi::ds {
 
+namespace {
+// Virtual per-op cost distributions (Fig. 7's query-mix rates). Bounds cover
+// the calibrated cost model with headroom for large payload transfers.
+obs::HistogramMetric& cost_hist(const char* name) {
+  return obs::histogram(name, 0.0, 2.0e-3, 40);
+}
+}  // namespace
+
 KvCluster::KvCluster(std::size_t n_servers, KvCostModel cost) : cost_(cost) {
   MUMMI_CHECK_MSG(n_servers > 0, "cluster needs at least one server");
   shards_.reserve(n_servers);
-  for (std::size_t i = 0; i < n_servers; ++i)
+  shard_ops_.reserve(n_servers);
+  for (std::size_t i = 0; i < n_servers; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shard_ops_.push_back(&obs::counter("kv.shard." + std::to_string(i) +
+                                       ".ops"));
+  }
 }
 
 void KvCluster::add_time(std::atomic<double>& counter, double dt) {
@@ -29,6 +42,7 @@ void KvCluster::check_available(std::size_t i) const {
     throw util::UnavailableError("kv shard " + std::to_string(i) + " is down");
   if (shard.transient_errors > 0) {
     --shard.transient_errors;
+    obs::counter("kv.transient_errors").inc();
     throw util::UnavailableError("kv shard " + std::to_string(i) +
                                  " transient I/O error");
   }
@@ -36,6 +50,7 @@ void KvCluster::check_available(std::size_t i) const {
 
 void KvCluster::fail_server(std::size_t i, bool wipe) {
   MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  obs::counter("kv.shard_down").inc();
   Shard& shard = *shards_[i];
   std::lock_guard lock(shard.mutex);
   shard.up = false;
@@ -44,6 +59,7 @@ void KvCluster::fail_server(std::size_t i, bool wipe) {
 
 void KvCluster::recover_server(std::size_t i) {
   MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  obs::counter("kv.shard_recovered").inc();
   Shard& shard = *shards_[i];
   std::lock_guard lock(shard.mutex);
   shard.up = true;
@@ -75,8 +91,13 @@ void KvCluster::inject_transient_errors(std::size_t i, int count) {
 void KvCluster::set(const std::string& key, util::Bytes value) {
   const std::size_t s = server_of(key);
   check_available(s);
-  add_time(t_writes_,
-           cost_.per_query + cost_.per_byte * static_cast<double>(value.size()));
+  const double dt =
+      cost_.per_query + cost_.per_byte * static_cast<double>(value.size());
+  add_time(t_writes_, dt);
+  static obs::Counter& ops = obs::counter("kv.ops.set");
+  ops.inc();
+  shard_ops_[s]->inc();
+  cost_hist("kv.cost.write_s").observe(dt);
   Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   shard.data[key] = std::move(value);
@@ -85,15 +106,21 @@ void KvCluster::set(const std::string& key, util::Bytes value) {
 std::optional<util::Bytes> KvCluster::get(const std::string& key) const {
   const std::size_t s = server_of(key);
   check_available(s);
+  static obs::Counter& ops = obs::counter("kv.ops.get");
+  ops.inc();
+  shard_ops_[s]->inc();
   const Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   auto it = shard.data.find(key);
   if (it == shard.data.end()) {
     add_time(t_reads_, cost_.per_query);
+    cost_hist("kv.cost.read_s").observe(cost_.per_query);
     return std::nullopt;
   }
-  add_time(t_reads_, cost_.per_read +
-                         cost_.per_byte * static_cast<double>(it->second.size()));
+  const double dt =
+      cost_.per_read + cost_.per_byte * static_cast<double>(it->second.size());
+  add_time(t_reads_, dt);
+  cost_hist("kv.cost.read_s").observe(dt);
   return it->second;
 }
 
@@ -109,6 +136,10 @@ bool KvCluster::del(const std::string& key) {
   const std::size_t s = server_of(key);
   check_available(s);
   add_time(t_dels_, cost_.per_query);
+  static obs::Counter& ops = obs::counter("kv.ops.del");
+  ops.inc();
+  shard_ops_[s]->inc();
+  cost_hist("kv.cost.del_s").observe(cost_.per_query);
   Shard& shard = *shards_[s];
   std::lock_guard lock(shard.mutex);
   return shard.data.erase(key) > 0;
@@ -158,9 +189,15 @@ std::vector<std::string> KvCluster::keys(const std::string& pattern) const {
     for (const auto& [k, _] : shard->data)
       if (util::glob_match(pattern, k)) out.push_back(k);
   }
-  add_time(t_keys_, cost_.per_query * static_cast<double>(shards_.size()) +
-                        cost_.per_scanned_key * static_cast<double>(scanned) +
-                        cost_.per_returned_key * static_cast<double>(out.size()));
+  const double dt =
+      cost_.per_query * static_cast<double>(shards_.size()) +
+      cost_.per_scanned_key * static_cast<double>(scanned) +
+      cost_.per_returned_key * static_cast<double>(out.size());
+  add_time(t_keys_, dt);
+  static obs::Counter& ops = obs::counter("kv.ops.keys");
+  ops.inc();
+  for (auto* shard_counter : shard_ops_) shard_counter->inc();
+  obs::histogram("kv.cost.keys_s", 0.0, 30.0, 60).observe(dt);
   return out;
 }
 

@@ -23,6 +23,10 @@
 
 #include "util/bytes.hpp"
 
+namespace mummi::obs {
+class Counter;
+}  // namespace mummi::obs
+
 namespace mummi::ds {
 
 /// Virtual-time cost of cluster operations, calibrated to the paper's
@@ -100,6 +104,10 @@ class KvCluster {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   KvCostModel cost_;
+  /// Per-shard op counters ("kv.shard.<i>.ops"), cached at construction so
+  /// the hot KV paths never build a metric name. Registry handles are
+  /// process-stable, and clusters of equal size share them.
+  std::vector<obs::Counter*> shard_ops_;
   mutable std::atomic<double> t_keys_{0.0};
   mutable std::atomic<double> t_reads_{0.0};
   mutable std::atomic<double> t_dels_{0.0};

@@ -1,5 +1,7 @@
 #include "fault/fault_injector.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace mummi::fault {
@@ -13,20 +15,27 @@ void FaultInjector::arm(event::SimEngine& engine) {
 }
 
 void FaultInjector::apply(const FaultEvent& ev, double now) {
+  obs::counter("fault.injected").inc();
+  obs::counter(std::string("fault.") + to_string(ev.kind)).inc();
+  obs::Tracer::instance().instant(std::string("fault.") + to_string(ev.kind),
+                                  "fault");
   switch (ev.kind) {
     case FaultKind::kNodeCrash:
       if (scheduler_ && ev.target >= 0 &&
           ev.target < scheduler_->graph().n_nodes()) {
         const auto killed = scheduler_->fail_node(ev.target);
         jobs_killed_ += killed.size();
+        obs::counter("fault.jobs_killed").inc(killed.size());
         util::log_debug("fault: node ", ev.target, " crashed, killed ",
                         killed.size(), " jobs");
       }
       break;
     case FaultKind::kNodeRecover:
       if (scheduler_ && ev.target >= 0 &&
-          ev.target < scheduler_->graph().n_nodes())
+          ev.target < scheduler_->graph().n_nodes()) {
         scheduler_->recover_node(ev.target);
+        obs::counter("fault.recoveries").inc();
+      }
       break;
     case FaultKind::kShardDown:
       if (kv_ && ev.target >= 0 &&
@@ -36,8 +45,10 @@ void FaultInjector::apply(const FaultEvent& ev, double now) {
       break;
     case FaultKind::kShardUp:
       if (kv_ && ev.target >= 0 &&
-          ev.target < static_cast<int>(kv_->n_servers()))
+          ev.target < static_cast<int>(kv_->n_servers())) {
         kv_->recover_server(static_cast<std::size_t>(ev.target));
+        obs::counter("fault.recoveries").inc();
+      }
       break;
     case FaultKind::kStoreIoError:
       if (fs_) fs_->inject_failures(ev.count);

@@ -1,0 +1,70 @@
+#include "obs/report.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mummi::obs {
+
+void TelemetryReport::sample(double now_s) {
+  MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  snap.time = now_s;
+  std::lock_guard lock(mutex_);
+  snaps_.push_back(std::move(snap));
+}
+
+std::size_t TelemetryReport::samples() const {
+  std::lock_guard lock(mutex_);
+  return snaps_.size();
+}
+
+std::vector<MetricsSnapshot> TelemetryReport::snapshots() const {
+  std::lock_guard lock(mutex_);
+  return snaps_;
+}
+
+bool TelemetryReport::write_json(const std::string& path) const {
+  std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n";
+  double last_time = 0;
+  bool have_samples = false;
+  {
+    std::lock_guard lock(mutex_);
+    out += "  \"snapshots\": [";
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      out += i ? ",\n" : "\n";
+      out += snaps_[i].json(4);
+    }
+    out += snaps_.empty() ? "],\n" : "\n  ],\n";
+    if (!snaps_.empty()) {
+      last_time = snaps_.back().time;
+      have_samples = true;
+    }
+  }
+  MetricsSnapshot final_snap = MetricsRegistry::instance().snapshot();
+  if (have_samples) final_snap.time = last_time;
+  out += "  \"final\":\n" + final_snap.json(2) + "\n}\n";
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = written == out.size() && std::fclose(f) == 0;
+  if (!ok && written != out.size()) std::fclose(f);
+  return ok;
+}
+
+namespace {
+std::atomic<TelemetryReport*> g_sink{nullptr};
+}  // namespace
+
+void set_report_sink(TelemetryReport* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TelemetryReport* report_sink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void report_sample(double now_s) {
+  if (TelemetryReport* sink = report_sink()) sink->sample(now_s);
+}
+
+}  // namespace mummi::obs

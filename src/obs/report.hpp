@@ -1,0 +1,54 @@
+// TelemetryReport: periodic registry snapshots serialized to JSON.
+//
+// The paper's Fig. 5 occupancy profile is literally "a snapshot every 10
+// minutes"; the report sink generalizes that — any driver (the campaign's
+// profile tick, a bench loop) calls sample(now) to append a timestamped
+// MetricsSnapshot, and write_json() lands the series plus a final snapshot
+// in bench_outputs/telemetry.json for the plotting/regression tooling.
+//
+// The process-wide sink pointer decouples the Campaign from the benches: the
+// campaign's profile tick calls obs::report_sample(t), which no-ops unless a
+// bench installed a report via obs::set_report_sink().
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mummi::obs {
+
+class TelemetryReport {
+ public:
+  /// `bench` tags the output JSON ("bench" key — the contract
+  /// scripts/bench_smoke.sh validates on every bench_outputs file).
+  explicit TelemetryReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Appends one registry snapshot stamped with `now_s` (caller-defined
+  /// timeline: virtual campaign seconds for the figure benches).
+  void sample(double now_s);
+
+  [[nodiscard]] std::size_t samples() const;
+  [[nodiscard]] std::vector<MetricsSnapshot> snapshots() const;
+
+  /// {"bench": ..., "snapshots": [...], "final": {...}} where "final" is a
+  /// fresh registry snapshot taken at write time. Returns false on I/O
+  /// failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  mutable std::mutex mutex_;
+  std::vector<MetricsSnapshot> snaps_;
+};
+
+/// Installs `sink` as the process-wide report (nullptr uninstalls). The
+/// caller owns the report and must uninstall before destroying it.
+void set_report_sink(TelemetryReport* sink);
+[[nodiscard]] TelemetryReport* report_sink();
+
+/// Forwards to the installed sink's sample(); no-op without one.
+void report_sample(double now_s);
+
+}  // namespace mummi::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace mummi::sched {
@@ -19,7 +20,26 @@ const char* to_string(JobState state) {
 
 Scheduler::Scheduler(ClusterSpec cluster, MatchPolicy policy,
                      const util::Clock& clock)
-    : graph_(cluster), matcher_(make_matcher(policy)), clock_(clock) {}
+    : graph_(cluster), matcher_(make_matcher(policy)), clock_(clock) {
+  // Match counters are per-policy so the Sec. 5.2 traversal-cost story is
+  // visible straight from the registry.
+  const std::string match_prefix = "sched.match." + matcher_->name();
+  tm_.submitted = &obs::counter("sched.submitted");
+  tm_.started = &obs::counter("sched.started");
+  tm_.completed = &obs::counter("sched.completed");
+  tm_.failed = &obs::counter("sched.failed");
+  tm_.cancelled = &obs::counter("sched.cancelled");
+  tm_.match_attempts = &obs::counter(match_prefix + ".attempts");
+  tm_.match_visits = &obs::counter(match_prefix + ".visits");
+  tm_.queue_depth = &obs::gauge("sched.queue_depth");
+  tm_.running = &obs::gauge("sched.running");
+  tm_.queue_wait_s = &obs::histogram("sched.queue_wait_s", 0.0, 7200.0, 72);
+}
+
+void Scheduler::update_depth_gauges() {
+  tm_.queue_depth->set(static_cast<double>(queue_.size()));
+  tm_.running->set(static_cast<double>(running_));
+}
 
 JobId Scheduler::submit(JobSpec spec) {
   const JobId id = next_id_++;
@@ -30,6 +50,8 @@ JobId Scheduler::submit(JobSpec spec) {
   job.submit_time = clock_.now();
   jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
+  tm_.submitted->inc();
+  update_depth_gauges();
   return id;
 }
 
@@ -51,6 +73,9 @@ void Scheduler::start_job(Job& job, Allocation alloc) {
   job.state = JobState::kRunning;
   job.start_time = clock_.now();
   ++running_;
+  tm_.started->inc();
+  tm_.queue_wait_s->observe(job.start_time - job.submit_time);
+  update_depth_gauges();
   for (const auto& fn : start_callbacks_) fn(job);
 }
 
@@ -67,6 +92,8 @@ Scheduler::PumpResult Scheduler::pump_one() {
   const std::uint64_t before = matcher_->visits();
   auto alloc = matcher_->match(graph_, head.spec.request);
   result.visits = matcher_->visits() - before;
+  tm_.match_attempts->inc();
+  tm_.match_visits->inc(result.visits);
   if (!alloc) return result;  // FCFS: head blocks; no backfilling
   queue_.pop_front();
   start_job(head, std::move(*alloc));
@@ -93,6 +120,8 @@ void Scheduler::complete(JobId id, bool success) {
   job.state = success ? JobState::kCompleted : JobState::kFailed;
   job.end_time = clock_.now();
   --running_;
+  (success ? tm_.completed : tm_.failed)->inc();
+  update_depth_gauges();
   for (const auto& fn : finish_callbacks_) fn(job);
 }
 
@@ -101,6 +130,7 @@ bool Scheduler::cancel(JobId id) {
   if (job.state == JobState::kPending) {
     job.state = JobState::kCancelled;  // queue tombstone skipped in pump
     job.end_time = clock_.now();
+    tm_.cancelled->inc();
     for (const auto& fn : finish_callbacks_) fn(job);
     return true;
   }
@@ -110,6 +140,8 @@ bool Scheduler::cancel(JobId id) {
     job.state = JobState::kCancelled;
     job.end_time = clock_.now();
     --running_;
+    tm_.cancelled->inc();
+    update_depth_gauges();
     for (const auto& fn : finish_callbacks_) fn(job);
     return true;
   }

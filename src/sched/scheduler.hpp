@@ -22,6 +22,12 @@
 #include "sched/job.hpp"
 #include "util/clock.hpp"
 
+namespace mummi::obs {
+class Counter;
+class Gauge;
+class HistogramMetric;
+}  // namespace mummi::obs
+
 namespace mummi::sched {
 
 class Scheduler {
@@ -94,6 +100,22 @@ class Scheduler {
  private:
   Job& job_mut(JobId id);
   void start_job(Job& job, Allocation alloc);
+  void update_depth_gauges();
+
+  /// Registry handles (obs::MetricsRegistry; process-wide, shared by every
+  /// scheduler instance, stable for the life of the process).
+  struct Telemetry {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* started = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* match_attempts = nullptr;  // per-policy
+    obs::Counter* match_visits = nullptr;    // per-policy
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* running = nullptr;
+    obs::HistogramMetric* queue_wait_s = nullptr;  // submit -> dispatch
+  };
 
   ResourceGraph graph_;
   std::unique_ptr<Matcher> matcher_;
@@ -104,6 +126,7 @@ class Scheduler {
   JobId next_id_ = 1;
   std::vector<JobCallback> start_callbacks_;
   std::vector<JobCallback> finish_callbacks_;
+  Telemetry tm_;
 };
 
 }  // namespace mummi::sched

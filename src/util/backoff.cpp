@@ -32,9 +32,13 @@ SleepFn accounting_sleeper(double* total) {
 bool retry_with_backoff(const BackoffPolicy& policy, Rng& rng,
                         const SleepFn& sleep,
                         const std::function<bool()>& op) {
-  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+  // Contract: the operation always executes at least once. max_attempts <= 1
+  // (including zero and negative values) means "no retries", never "never
+  // try" — the pre-fix code returned false without invoking op at all.
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     if (op()) return true;
-    if (attempt + 1 >= policy.max_attempts) break;
+    if (attempt + 1 >= attempts) break;
     const double delay = policy.delay_s(attempt, rng);
     if (sleep) sleep(delay);
   }

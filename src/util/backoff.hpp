@@ -46,6 +46,8 @@ using SleepFn = std::function<void(double)>;
 /// Runs `op` until it returns true or attempts are exhausted, backing off
 /// between tries. Returns true on success, false when the policy gave up.
 /// `sleep` may be empty, meaning "do not wait" (still bounded by attempts).
+/// The operation always runs at least once: max_attempts <= 1 (including
+/// zero and negative values) means "no retries", never "skip the operation".
 bool retry_with_backoff(const BackoffPolicy& policy, Rng& rng,
                         const SleepFn& sleep,
                         const std::function<bool()>& op);

@@ -33,9 +33,17 @@ double Histogram::center(std::size_t bin) const {
 
 double Histogram::fraction_at_least(double x) const {
   if (total_ <= 0.0) return 0.0;
+  if (x <= lo_) return 1.0;   // everything is clamped into [lo, hi)
+  if (x >= hi_) return 0.0;   // no mass lives at or above hi
   const std::size_t start = bin_of(x);
-  double mass = 0.0;
-  for (std::size_t b = start; b < counts_.size(); ++b) mass += counts_[b];
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double bin_lo = lo_ + static_cast<double>(start) * width;
+  // Mass within the bin is treated as uniform; only the part of the bin at
+  // or above x counts (the pre-fix code credited the whole bin).
+  const double frac_above =
+      std::clamp(1.0 - (x - bin_lo) / width, 0.0, 1.0);
+  double mass = counts_[start] * frac_above;
+  for (std::size_t b = start + 1; b < counts_.size(); ++b) mass += counts_[b];
   return mass / total_;
 }
 
@@ -43,16 +51,19 @@ std::string Histogram::ascii(std::size_t width) const {
   double peak = 0.0;
   for (double c : counts_) peak = std::max(peak, c);
   std::string out;
-  char line[160];
+  // Sized for the widest row: 12-char center, " | ", width-char bar column,
+  // space, value, newline, NUL — no silent truncation at large widths (the
+  // pre-fix fixed 160-byte buffer clipped rows once width exceeded ~120).
+  std::vector<char> line(width + 48);
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     const auto bar =
         peak > 0.0 ? static_cast<std::size_t>(counts_[b] / peak *
                                               static_cast<double>(width))
                    : 0;
-    std::snprintf(line, sizeof line, "%12.4g | %-*s %.4g\n", center(b),
+    std::snprintf(line.data(), line.size(), "%12.4g | %-*s %.4g\n", center(b),
                   static_cast<int>(width),
                   std::string(bar, '#').c_str(), counts_[b]);
-    out += line;
+    out += line.data();
   }
   return out;
 }

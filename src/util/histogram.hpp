@@ -22,7 +22,9 @@ class Histogram {
   [[nodiscard]] double total() const { return total_; }
   /// Center of the given bin.
   [[nodiscard]] double center(std::size_t bin) const;
-  /// Fraction of total mass at or above the given value.
+  /// Fraction of total mass at or above the given value. Mass within the
+  /// bin containing `x` is linearly interpolated (uniform-within-bin
+  /// assumption); `x <= lo()` returns 1, `x >= hi()` returns 0.
   [[nodiscard]] double fraction_at_least(double x) const;
   /// Bin index a value falls into (after clamping).
   [[nodiscard]] std::size_t bin_of(double x) const;

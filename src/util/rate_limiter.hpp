@@ -16,9 +16,15 @@ namespace mummi::util {
 class RateLimiter {
  public:
   /// Allows `rate` operations per second on average, with bursts of at most
-  /// `burst` (defaults to one second's worth).
-  explicit RateLimiter(double rate, double burst = -1.0)
-      : rate_(rate), burst_(burst < 0 ? rate : burst), tokens_(burst_) {
+  /// `burst` (defaults to one second's worth). `epoch` anchors the token
+  /// clock: the limiter starts with a full burst at time `epoch`, and the
+  /// first call never mints extra tokens from the gap between an implicit
+  /// zero epoch and a large first timestamp.
+  explicit RateLimiter(double rate, double burst = -1.0, double epoch = 0.0)
+      : rate_(rate),
+        burst_(burst < 0 ? rate : burst),
+        tokens_(burst_),
+        last_(epoch) {
     MUMMI_CHECK_MSG(rate > 0 && burst_ > 0, "invalid rate limiter config");
   }
 
@@ -46,7 +52,14 @@ class RateLimiter {
 
  private:
   void refill(double now) {
-    if (now <= last_) return;
+    if (now < last_) {
+      // Clock regression (e.g. a restarted virtual clock): re-anchor at the
+      // regressed time without minting tokens. The pre-fix code kept last_
+      // at the high-water mark, silently freezing accrual until the clock
+      // caught back up.
+      last_ = now;
+      return;
+    }
     tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
     last_ = now;
   }
@@ -54,7 +67,7 @@ class RateLimiter {
   double rate_;
   double burst_;
   double tokens_;
-  double last_ = 0.0;
+  double last_;
 };
 
 }  // namespace mummi::util

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "fault/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -408,6 +411,9 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
 
   std::function<void()> profile_tick = [&] {
     result.profiler.sample(t_offset + engine.now(), scheduler);
+    // Registry gauges are freshest right after a profile sample — snapshot
+    // into the attached telemetry sink (if any), stamped with campaign time.
+    obs::report_sample(t_offset + engine.now());
     engine.schedule_after(config_.profile_interval_s, profile_tick);
   };
   engine.schedule_after(config_.profile_interval_s, profile_tick);
@@ -506,7 +512,15 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   if (config_.checkpoint_interval_s > 0 && !config_.checkpoint_path.empty()) {
     checkpoint_tick = [&] {
       ++result.checkpoints_written;
-      save_checkpoint();
+      {
+        // Checkpoint serialization is real wall-clock work inside the
+        // coordination loop; the span + histogram expose its cost.
+        obs::Span span("wm.checkpoint", "wm");
+        save_checkpoint();
+        obs::histogram("wm.checkpoint_s", 0.0, 1.0, 50)
+            .observe(span.elapsed_us() * 1e-6);
+      }
+      obs::counter("wm.checkpoints").inc();
       engine.schedule_after(config_.checkpoint_interval_s, checkpoint_tick);
     };
     engine.schedule_after(config_.checkpoint_interval_s, checkpoint_tick);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace mummi::wm {
@@ -21,6 +22,17 @@ void Profiler::sample(double now, const sched::Scheduler& scheduler) {
       total_cores > 0 ? graph.used_cores() / total_cores : 0.0;
   event.running_by_type = scheduler.running_by_type();
   event.pending_by_type = scheduler.pending_by_type();
+  // Mirror every sample into the registry so telemetry snapshots carry the
+  // live occupancy signal. Fractions are observed in event order, so the
+  // registry histogram's mean is the *same* double summation as
+  // mean_gpu_occupancy() — the two agree bit-for-bit, not just approximately.
+  obs::gauge("wm.gpu_occupancy").set(event.gpu_occupancy);
+  obs::gauge("wm.cpu_occupancy").set(event.cpu_occupancy);
+  obs::histogram("wm.occupancy.gpu", 0.0, 1.0000001, 20)
+      .observe(event.gpu_occupancy);
+  obs::histogram("wm.occupancy.cpu", 0.0, 1.0000001, 20)
+      .observe(event.cpu_occupancy);
+  obs::counter("wm.profile_events").inc();
   events_.push_back(std::move(event));
 }
 

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -84,6 +86,8 @@ int WorkflowManager::submit_via_tracker(const std::string& type,
 }
 
 int WorkflowManager::maintain(int submit_budget) {
+  obs::Span span("wm.maintain", "wm");
+  obs::counter("wm.maintain_passes").inc();
   int submitted = 0;
   auto& scheduler = maestro_.scheduler();
 
@@ -151,24 +155,29 @@ int WorkflowManager::maintain(int submit_budget) {
   fill_setups(config_.cg_setup_type, config_.cg_sim_type, ready_cg_,
               requeued_cg_setup_, config_.cg_ready_target, cg_capacity(),
               [this](std::size_t m) {
+                obs::Span select_span("wm.select.patch", "wm");
                 std::vector<std::uint64_t> payloads;
                 auto picks = patch_selector_.select(m);
                 payloads.reserve(picks.size());
                 for (const auto& pick : picks)
                   payloads.push_back(pick.point.id);
+                obs::counter("wm.selector.cg_picks").inc(payloads.size());
                 return payloads;
               });
   fill_setups(config_.aa_setup_type, config_.aa_sim_type, ready_aa_,
               requeued_aa_setup_, config_.aa_ready_target, aa_capacity(),
               [this](std::size_t m) {
+                obs::Span select_span("wm.select.frame", "wm");
                 std::vector<std::uint64_t> payloads;
                 auto picks = frame_selector_.select(m);
                 payloads.reserve(picks.size());
                 for (const auto& pick : picks) payloads.push_back(pick.id);
+                obs::counter("wm.selector.aa_picks").inc(payloads.size());
                 return payloads;
               });
 
   if (submitted > 0) maestro_.poll();
+  obs::counter("wm.submitted").inc(submitted);
   return submitted;
 }
 

@@ -81,6 +81,40 @@ TEST(Backoff, RetryStopsAfterMaxAttempts) {
   EXPECT_DOUBLE_EQ(slept[1], p.base_delay_s * p.multiplier);
 }
 
+TEST(Backoff, ZeroMaxAttemptsStillRunsOnce) {
+  // Contract: the operation always executes at least once; max_attempts <= 1
+  // means "no retries", never "never try". The pre-fix loop returned false
+  // without invoking the op at all for max_attempts <= 0, silently skipping
+  // the I/O it was supposed to armor.
+  util::BackoffPolicy p;
+  p.max_attempts = 0;
+  util::Rng rng(1);
+  std::vector<double> slept;
+  int calls = 0;
+  const bool ok = util::retry_with_backoff(p, rng, recording_sleeper(slept),
+                                           [&] {
+                                             ++calls;
+                                             return true;
+                                           });
+  EXPECT_TRUE(ok);  // the one execution succeeded, so the retry loop did
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());  // no retries, no waits
+}
+
+TEST(Backoff, NegativeMaxAttemptsRunsExactlyOnce) {
+  util::BackoffPolicy p;
+  p.max_attempts = -7;
+  util::Rng rng(1);
+  int calls = 0;
+  const bool ok = util::retry_with_backoff(p, rng, util::SleepFn{},
+                                           [&] {
+                                             ++calls;
+                                             return false;
+                                           });
+  EXPECT_FALSE(ok);  // the single attempt failed and nothing retried
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(Backoff, RetrySucceedsMidway) {
   util::BackoffPolicy p;
   p.max_attempts = 5;

@@ -1,0 +1,73 @@
+// Standalone probe for the telemetry compile switch. Built in both the
+// default configuration and the -DMUMMI_TELEMETRY=OFF configuration
+// (scripts/tier1.sh); it drives the full obs:: API and asserts the behavior
+// matches the compile mode: real recording when compiled in, all no-ops
+// (zero counts, empty traces) when compiled out. Call sites are identical in
+// both builds — that is the whole point of the no-op shells.
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = mummi::obs;
+
+namespace {
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::fprintf(stderr, "obs_noop_probe: FAIL: %s\n", what);
+  }
+}
+}  // namespace
+
+int main() {
+  std::printf("obs_noop_probe: telemetry compiled %s\n",
+              obs::kCompiledIn ? "IN" : "OUT");
+
+  // Exercise every instrumentation primitive exactly as the hot layers do.
+  obs::counter("probe.counter").inc();
+  obs::counter("probe.counter").inc(4);
+  obs::gauge("probe.gauge").set(2.0);
+  obs::gauge("probe.gauge").add(0.5);
+  obs::histogram("probe.hist", 0.0, 1.0, 10).observe(0.25);
+  {
+    obs::Span span("probe.span", "probe");
+    obs::Span inner("probe.inner", "probe");
+    inner.end();
+  }
+  obs::Tracer::instance().instant("probe.instant", "probe");
+
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  const std::string trace = obs::Tracer::instance().chrome_json();
+  check(trace.find("\"traceEvents\"") != std::string::npos,
+        "chrome_json must be structurally valid in both modes");
+
+  if (obs::kCompiledIn) {
+    check(obs::counter("probe.counter").value() == 5, "counter records");
+    check(obs::gauge("probe.gauge").value() == 2.5, "gauge records");
+    check(obs::histogram("probe.hist", 0.0, 1.0, 10).count() == 1,
+          "histogram records");
+    check(!snap.counters.empty(), "snapshot carries counters");
+    check(obs::Tracer::instance().event_count() == 3,
+          "tracer records two spans and one instant");
+    check(obs::enabled(), "runtime switch defaults on");
+  } else {
+    check(obs::counter("probe.counter").value() == 0, "counter is a no-op");
+    check(obs::gauge("probe.gauge").value() == 0.0, "gauge is a no-op");
+    check(obs::histogram("probe.hist", 0.0, 1.0, 10).count() == 0,
+          "histogram is a no-op");
+    check(snap.counters.empty() && snap.gauges.empty() &&
+              snap.histograms.empty(),
+          "snapshot is empty");
+    check(obs::MetricsRegistry::instance().size() == 0, "registry holds nothing");
+    check(obs::Tracer::instance().event_count() == 0, "tracer records nothing");
+    check(!obs::enabled(), "enabled() is constant false");
+  }
+
+  std::printf("obs_noop_probe: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Span tracer: nesting, instants, Chrome trace JSON, capacity, summary.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi::obs {
+namespace {
+
+// The tracer is process-wide; each test clears it first. Events from other
+// tests running earlier in this binary are discarded by the clear().
+
+TEST(Trace, SpanRecordsCompleteEvent) {
+  Tracer::instance().clear();
+  {
+    Span span("test.trace.outer", "test");
+  }
+  const auto evs = Tracer::instance().events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "test.trace.outer");
+  EXPECT_EQ(evs[0].cat, "test");
+  EXPECT_EQ(evs[0].ph, 'X');
+  EXPECT_GE(evs[0].dur_us, 0.0);
+}
+
+TEST(Trace, NestedSpansAreContained) {
+  Tracer::instance().clear();
+  {
+    Span outer("test.trace.outer", "test");
+    { Span inner("test.trace.inner", "test"); }
+  }
+  const auto evs = Tracer::instance().events();
+  ASSERT_EQ(evs.size(), 2u);
+  // Spans close innermost-first, so the inner event lands first.
+  const TraceEvent& inner = evs[0];
+  const TraceEvent& outer = evs[1];
+  EXPECT_EQ(inner.name, "test.trace.inner");
+  EXPECT_EQ(outer.name, "test.trace.outer");
+  // Stack discipline: the inner span's [ts, ts+dur] window sits inside the
+  // outer's — which is exactly what makes them nest in trace viewers.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+}
+
+TEST(Trace, EndIsIdempotentAndEarly) {
+  Tracer::instance().clear();
+  Span span("test.trace.early", "test");
+  span.end();
+  span.end();  // no second event
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+  EXPECT_DOUBLE_EQ(span.elapsed_us(), 0.0);  // ended spans read 0
+}
+
+TEST(Trace, InstantEvents) {
+  Tracer::instance().clear();
+  Tracer::instance().instant("test.trace.marker", "fault");
+  const auto evs = Tracer::instance().events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].ph, 'i');
+  EXPECT_DOUBLE_EQ(evs[0].dur_us, 0.0);
+}
+
+TEST(Trace, ChromeJsonShape) {
+  Tracer::instance().clear();
+  { Span span("test.trace.json \"quoted\"", "test"); }
+  Tracer::instance().instant("test.trace.mark", "fault");
+  const std::string json = Tracer::instance().chrome_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);  // starts the array
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);  // instant scope
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaping
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(Trace, CapacityBoundsBufferAndCountsDrops) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_capacity(3);
+  for (int i = 0; i < 5; ++i) tracer.instant("test.trace.overflow", "test");
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  tracer.clear();  // also resets dropped
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.set_capacity(1u << 20);  // restore the default for other tests
+}
+
+TEST(Trace, RuntimeDisableSkipsRecording) {
+  Tracer::instance().clear();
+  set_enabled(false);
+  { Span span("test.trace.disabled", "test"); }
+  Tracer::instance().instant("test.trace.disabled", "test");
+  set_enabled(true);
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST(Trace, SummaryAggregatesPerName) {
+  Tracer::instance().clear();
+  for (int i = 0; i < 3; ++i) Span("test.trace.summed", "test").end();
+  const std::string summary = Tracer::instance().summary();
+  EXPECT_NE(summary.find("test.trace.summed"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);  // the count column
+}
+
+}  // namespace
+}  // namespace mummi::obs

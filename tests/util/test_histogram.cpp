@@ -57,6 +57,65 @@ TEST(Histogram, EmptyFraction) {
   EXPECT_DOUBLE_EQ(h.fraction_at_least(0.5), 0.0);
 }
 
+TEST(Histogram, FractionInterpolatesWithinPartialBin) {
+  // All mass in one bin: a threshold inside that bin must credit only the
+  // part of the bin at or above it (the pre-fix code credited the whole bin,
+  // overcounting every non-edge threshold).
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(95.0);  // bin 9 covers [90, 100)
+  EXPECT_NEAR(h.fraction_at_least(95.0), 0.5, 1e-12);
+  EXPECT_NEAR(h.fraction_at_least(92.5), 0.75, 1e-12);
+  EXPECT_NEAR(h.fraction_at_least(99.0), 0.1, 1e-12);
+}
+
+TEST(Histogram, FractionExactAtBinEdges) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 80; ++i) h.add(99.0);
+  for (int i = 0; i < 20; ++i) h.add(1.0);
+  // Thresholds on bin edges have no partial bin: exact regardless of the
+  // uniform-within-bin assumption.
+  EXPECT_NEAR(h.fraction_at_least(90.0), 0.8, 1e-12);
+  EXPECT_NEAR(h.fraction_at_least(10.0), 0.8, 1e-12);
+  EXPECT_NEAR(h.fraction_at_least(0.0), 1.0, 1e-12);
+  // Mid-bin threshold between the two populated bins: interpolation sheds
+  // half of bin 9's mass, not none of it.
+  EXPECT_NEAR(h.fraction_at_least(95.0), 0.4, 1e-12);
+}
+
+TEST(Histogram, FractionAboveRangeIsZero) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(99.0, 5.0);
+  // No mass lives at or above hi (out-of-range adds are clamped below it).
+  // The pre-fix code clamped the threshold into the last bin and returned
+  // its full mass instead of 0.
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(-1e9), 1.0);
+}
+
+TEST(Histogram, FractionInterpolationRespectsWeights) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 3.0);   // bin 0
+  h.add(3.5, 1.0);   // bin 3
+  EXPECT_NEAR(h.fraction_at_least(2.0), 0.25, 1e-12);
+  // Half of bin 0's weighted mass plus all of bin 3.
+  EXPECT_NEAR(h.fraction_at_least(0.5), (1.5 + 1.0) / 4.0, 1e-12);
+}
+
+TEST(Histogram, AsciiSurvivesWideWidths) {
+  // The pre-fix 160-byte line buffer truncated bars (and the trailing count
+  // and newline with them) once the requested width passed ~120 columns.
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5, 7.0);
+  h.add(1.5, 3.5);
+  const std::size_t width = 400;
+  const std::string art = h.ascii(width);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+  EXPECT_NE(art.find(std::string(width, '#')), std::string::npos);  // peak bar
+  EXPECT_NE(art.find("7"), std::string::npos);    // counts survive too
+  EXPECT_NE(art.find("3.5"), std::string::npos);
+}
+
 TEST(Histogram, AsciiRendersEveryBin) {
   Histogram h(0.0, 4.0, 4);
   h.add(0.5, 4);

@@ -57,6 +57,34 @@ TEST(RateLimiter, TimeNeverRunsBackward) {
   EXPECT_FALSE(limiter.try_acquire(1.0));
 }
 
+TEST(RateLimiter, ClockRegressionReanchorsInsteadOfFreezing) {
+  RateLimiter limiter(10.0, 1.0);
+  EXPECT_TRUE(limiter.try_acquire(5.0));  // bucket empty, last_ = 5.0
+  EXPECT_FALSE(limiter.try_acquire(1.0));  // regression: no tokens minted
+  // Accrual must resume from the regressed time. The pre-fix refill kept
+  // last_ at the 5.0 high-water mark, silently freezing the bucket until
+  // the clock caught back up — 4 seconds of dead throttle.
+  EXPECT_TRUE(limiter.try_acquire(1.1));   // 0.1 s * 10/s = 1 token
+  EXPECT_FALSE(limiter.try_acquire(1.1));
+}
+
+TEST(RateLimiter, EpochAnchorsTheTokenClock) {
+  // A limiter born at t=100 starts with exactly its burst: the gap between
+  // the default zero epoch and the first real timestamp mints nothing.
+  RateLimiter limiter(1.0, 2.0, 100.0);
+  EXPECT_DOUBLE_EQ(limiter.available(100.0), 2.0);
+  EXPECT_TRUE(limiter.try_acquire(100.0));
+  EXPECT_TRUE(limiter.try_acquire(100.0));
+  EXPECT_FALSE(limiter.try_acquire(100.0));
+  EXPECT_TRUE(limiter.try_acquire(101.0));  // 1 s later: 1 token accrued
+}
+
+TEST(RateLimiter, TimestampBeforeEpochDoesNotMint) {
+  RateLimiter limiter(1000.0, 1.0, 50.0);
+  EXPECT_TRUE(limiter.try_acquire(10.0));   // the initial burst, re-anchored
+  EXPECT_FALSE(limiter.try_acquire(10.0));  // not refilled from the 40 s gap
+}
+
 TEST(RateLimiter, InvalidConfigRejected) {
   EXPECT_THROW(RateLimiter(0.0), Error);
   EXPECT_THROW(RateLimiter(-1.0), Error);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace mummi::wm {
 namespace {
 
@@ -79,6 +81,62 @@ TEST_F(ProfilerTest, ClearResets) {
   profiler_.clear();
   EXPECT_TRUE(profiler_.events().empty());
   EXPECT_DOUBLE_EQ(profiler_.fraction_gpu_at_least(0.5), 0.0);
+}
+
+TEST_F(ProfilerTest, EmptyProfilerStatsAreZero) {
+  // No samples at all: every statistic degrades to 0 rather than dividing
+  // by zero or indexing an empty vector.
+  EXPECT_DOUBLE_EQ(profiler_.mean_gpu_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(profiler_.median_gpu_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(profiler_.mean_cpu_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(profiler_.median_cpu_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(profiler_.fraction_gpu_at_least(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(profiler_.gpu_histogram(4).total(), 0.0);
+}
+
+TEST_F(ProfilerTest, EvenCountMedianInterpolates) {
+  // Two samples at distinct occupancies: the median is their midpoint
+  // (linear interpolation), not either endpoint.
+  for (int g = 0; g < 6; ++g)
+    scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+  auto started = scheduler_.pump();
+  profiler_.sample(0.0, scheduler_);  // 6/12 = 0.5
+  for (auto id : started) scheduler_.complete(id, true);
+  for (int g = 0; g < 12; ++g)
+    scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+  scheduler_.pump();
+  profiler_.sample(600.0, scheduler_);  // 12/12 = 1.0
+  EXPECT_NEAR(profiler_.median_gpu_occupancy(), 0.75, 1e-12);
+  EXPECT_NEAR(profiler_.mean_gpu_occupancy(), 0.75, 1e-12);
+}
+
+TEST_F(ProfilerTest, ThresholdExactlyAtSampleCounts) {
+  // fraction_gpu_at_least uses >=, so a sample sitting exactly on the
+  // threshold is counted — matching the paper's ">= 98%" phrasing.
+  for (int g = 0; g < 6; ++g)
+    scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+  scheduler_.pump();
+  profiler_.sample(0.0, scheduler_);  // exactly 0.5
+  EXPECT_DOUBLE_EQ(profiler_.fraction_gpu_at_least(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(profiler_.fraction_gpu_at_least(0.5 + 1e-12), 0.0);
+}
+
+TEST_F(ProfilerTest, RegistryMirrorsSamples) {
+  obs::MetricsRegistry::instance().reset();
+  for (int g = 0; g < 3; ++g)
+    scheduler_.submit(sched::JobSpec::gpu_sim("j", "cg_sim"));
+  scheduler_.pump();
+  profiler_.sample(0.0, scheduler_);
+  profiler_.sample(600.0, scheduler_);
+  const auto& events = profiler_.events();
+  EXPECT_EQ(obs::counter("wm.profile_events").value(), events.size());
+  EXPECT_DOUBLE_EQ(obs::gauge("wm.gpu_occupancy").value(),
+                   events.back().gpu_occupancy);
+  EXPECT_DOUBLE_EQ(obs::gauge("wm.cpu_occupancy").value(),
+                   events.back().cpu_occupancy);
+  EXPECT_DOUBLE_EQ(
+      obs::histogram("wm.occupancy.gpu", 0.0, 1.0000001, 20).mean(),
+      profiler_.mean_gpu_occupancy());
 }
 
 }  // namespace
