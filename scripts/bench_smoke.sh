@@ -104,4 +104,67 @@ check_chrome_trace bench_outputs/trace_fig5.json
 run_bench bench_fig7_kv_feedback telemetry_kv.json
 check_telemetry bench_outputs/telemetry_kv.json
 
+# Batched collect+tag contract: the pipelined path must be byte-identical to
+# the per-key loop and at least 3x faster in model time on every row.
+check_fig7_batched() {
+  local path="bench_outputs/fig7_batched.json"
+  if [[ ! -s "$path" ]]; then
+    echo "bench_smoke: bench_fig7_kv_feedback did not write $path" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc.get("rows")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'rows' must be a non-empty list")
+for r in rows:
+    if not r.get("identical"):
+        sys.exit(f"{sys.argv[1]}: batched results diverged: {r}")
+    if r.get("speedup", 0.0) < 3.0:
+        sys.exit(f"{sys.argv[1]}: batched speedup below 3x: {r}")
+EOF
+  else
+    grep -q '"identical": true' "$path" && ! grep -q '"identical": false' "$path"
+  fi
+  echo "    $path batched contract OK"
+}
+check_fig7_batched
+
+# Concurrency sweep: the deterministic shared-lock model must show read
+# throughput monotone in the thread count through 4 threads on every shard
+# configuration (wall numbers are host-dependent and only checked positive).
+run_bench bench_kv_concurrency kv_concurrency.json --small
+check_kv_concurrency() {
+  local path="bench_outputs/kv_concurrency.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc.get("rows")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'rows' must be a non-empty list")
+by_shards = {}
+for r in rows:
+    if r.get("wall_ops_per_s", 0.0) <= 0.0:
+        sys.exit(f"{sys.argv[1]}: non-positive wall throughput: {r}")
+    by_shards.setdefault(r["shards"], []).append(r)
+for shards, group in by_shards.items():
+    group.sort(key=lambda r: r["threads"])
+    upto4 = [r for r in group if r["threads"] <= 4]
+    shared = [r["virtual_shared_ops_per_s"] for r in upto4]
+    if shared != sorted(shared) or len(set(shared)) != len(shared):
+        sys.exit(f"{sys.argv[1]}: shared-lock ops/s not strictly "
+                 f"increasing through 4 threads at {shards} shards: {shared}")
+EOF
+  else
+    grep -q '"virtual_shared_ops_per_s"' "$path"
+  fi
+  echo "    $path concurrency contract OK"
+}
+check_kv_concurrency
+
 echo "=== bench smoke: PASS ==="

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full build + test cycle, then the fault/resilience tests
 # again under ASan+UBSan (the paths that juggle raw state across crash,
-# restart and retry deserve the extra scrutiny).
+# restart and retry deserve the extra scrutiny), and the concurrent KV /
+# feedback paths under TSan (shared_mutex shards + pool fan-out).
 #
 # Usage: scripts/tier1.sh [--no-sanitize] [--bench]
 #   --bench additionally runs scripts/bench_smoke.sh (reduced-scale JSON
@@ -48,5 +49,13 @@ cmake -B build-asan -S . -DMUMMI_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "$jobs" --target mummi_tests
 ./build-asan/tests/mummi_tests \
   --gtest_filter='*Backoff*:*FaultPlan*:*ResilientKv*:*FailNode*:*Resilience*:*FsStoreFault*:*JobTrackerBoundary*'
+
+echo "=== tier 1: TSan build, concurrent KV + feedback tests ==="
+# The shared-lock shards, pooled scans/mgets and batch retry paths are the
+# code that races if anything does; run them under ThreadSanitizer.
+cmake -B build-tsan -S . -DMUMMI_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target mummi_tests
+./build-tsan/tests/mummi_tests \
+  --gtest_filter='*KvCluster*:*KvBatch*:*SharedLock*:*ResilientKv*:*Aa2Cg*:*Cg2Cont*'
 
 echo "=== tier 1: PASS ==="

@@ -163,6 +163,52 @@ void FsStore::move(const std::string& src_ns, const std::string& key,
   account();
 }
 
+std::vector<util::Bytes> FsStore::get_many(
+    const std::string& ns, const std::vector<std::string>& keys) const {
+  std::vector<util::Bytes> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) {
+    validate(ns, key);
+    std::optional<util::Bytes> data;
+    armored("get", [&] { data = util::read_file(path_of(ns, key)); });
+    if (!data) throw util::StoreError("missing record: " + ns + "/" + key);
+    out.push_back(std::move(*data));
+  }
+  if (!keys.empty()) account();
+  return out;
+}
+
+void FsStore::put_many(
+    const std::string& ns,
+    const std::vector<std::pair<std::string, util::Bytes>>& records) {
+  if (records.empty()) return;
+  util::make_dirs(root_ + "/" + ns);
+  for (const auto& [key, value] : records) {
+    validate(ns, key);
+    armored("put", [&] { util::write_file(path_of(ns, key), value, retry_); });
+  }
+  account();
+}
+
+void FsStore::move_many(const std::string& src_ns,
+                        const std::vector<std::string>& keys,
+                        const std::string& dst_ns) {
+  if (keys.empty()) return;
+  util::make_dirs(root_ + "/" + dst_ns);
+  for (const auto& key : keys) {
+    validate(src_ns, key);
+    validate(dst_ns, key);
+    armored("move", [&] {
+      std::error_code ec;
+      fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
+      if (ec)
+        throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
+                               dst_ns + ": " + ec.message());
+    });
+  }
+  account();
+}
+
 std::size_t FsStore::inode_count() const {
   std::size_t n = 0;
   std::error_code ec;

@@ -40,6 +40,18 @@ class FsStore final : public DataStore {
   bool erase(const std::string& ns, const std::string& key) override;
   void move(const std::string& src_ns, const std::string& key,
             const std::string& dst_ns) override;
+  // Batched forms keep per-file armored I/O (each file can still fail and
+  // retry independently) but pay directory setup and the simulated
+  // contention latency once per batch instead of once per record.
+  [[nodiscard]] std::vector<util::Bytes> get_many(
+      const std::string& ns,
+      const std::vector<std::string>& keys) const override;
+  void put_many(const std::string& ns,
+                const std::vector<std::pair<std::string, util::Bytes>>&
+                    records) override;
+  void move_many(const std::string& src_ns,
+                 const std::vector<std::string>& keys,
+                 const std::string& dst_ns) override;
   [[nodiscard]] std::string backend() const override { return "filesystem"; }
 
   /// Total simulated contention latency accumulated so far (seconds).

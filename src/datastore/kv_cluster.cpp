@@ -1,8 +1,12 @@
 #include "datastore/kv_cluster.hpp"
 
+#include <algorithm>
+#include <mutex>
+
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mummi::ds {
 
@@ -12,6 +16,20 @@ namespace {
 obs::HistogramMetric& cost_hist(const char* name) {
   return obs::histogram(name, 0.0, 2.0e-3, 40);
 }
+
+// Batch instrumentation: one count per batch op plus the size distribution,
+// so traces show the pipelining taking effect (few ops, large batches).
+void note_batch(const char* op_counter, std::size_t batch_size) {
+  static obs::Counter& batches = obs::counter("kv.ops.batch");
+  batches.inc();
+  obs::counter(op_counter).inc();
+  obs::histogram("kv.batch.size", 0.0, 70000.0, 70)
+      .observe(static_cast<double>(batch_size));
+}
+
+// Minimum shard-group count before a scan/mget fans out over the global
+// pool; below this the submit overhead outweighs the parallel walk.
+constexpr std::size_t kParallelGroups = 2;
 }  // namespace
 
 KvCluster::KvCluster(std::size_t n_servers, KvCostModel cost) : cost_(cost) {
@@ -27,24 +45,50 @@ KvCluster::KvCluster(std::size_t n_servers, KvCostModel cost) : cost_(cost) {
 
 void KvCluster::add_time(std::atomic<double>& counter, double dt) {
   double cur = counter.load(std::memory_order_relaxed);
-  while (!counter.compare_exchange_weak(cur, cur + dt)) {
+  while (!counter.compare_exchange_weak(cur, cur + dt,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
   }
+}
+
+double KvCluster::total_sim_seconds() const {
+  return sim_seconds_keys() + sim_seconds_reads() + sim_seconds_deletes() +
+         sim_seconds_writes();
 }
 
 std::size_t KvCluster::server_of(const std::string& key) const {
   return util::fnv1a(key) % shards_.size();
 }
 
-void KvCluster::check_available(std::size_t i) const {
-  Shard& shard = *shards_[i];
-  std::lock_guard lock(shard.mutex);
+std::string_view KvCluster::ns_of(std::string_view key) {
+  const std::size_t colon = key.find(':');
+  return colon == std::string_view::npos ? std::string_view{}
+                                         : key.substr(0, colon);
+}
+
+void KvCluster::index_add(Shard& shard, const std::string& key) {
+  shard.by_ns[std::string(ns_of(key))].insert(key);
+}
+
+void KvCluster::index_remove(Shard& shard, const std::string& key) {
+  auto it = shard.by_ns.find(std::string(ns_of(key)));
+  if (it == shard.by_ns.end()) return;
+  it->second.erase(key);
+  if (it->second.empty()) shard.by_ns.erase(it);
+}
+
+void KvCluster::check_shard_locked(const Shard& shard, std::size_t i) const {
   if (!shard.up)
     throw util::UnavailableError("kv shard " + std::to_string(i) + " is down");
-  if (shard.transient_errors > 0) {
-    --shard.transient_errors;
-    obs::counter("kv.transient_errors").inc();
-    throw util::UnavailableError("kv shard " + std::to_string(i) +
-                                 " transient I/O error");
+  int pending = shard.transient_errors.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (shard.transient_errors.compare_exchange_weak(
+            pending, pending - 1, std::memory_order_relaxed,
+            std::memory_order_relaxed)) {
+      obs::counter("kv.transient_errors").inc();
+      throw util::UnavailableError("kv shard " + std::to_string(i) +
+                                   " transient I/O error");
+    }
   }
 }
 
@@ -52,30 +96,33 @@ void KvCluster::fail_server(std::size_t i, bool wipe) {
   MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
   obs::counter("kv.shard_down").inc();
   Shard& shard = *shards_[i];
-  std::lock_guard lock(shard.mutex);
+  std::unique_lock lock(shard.mutex);
   shard.up = false;
-  if (wipe) shard.data.clear();
+  if (wipe) {
+    shard.data.clear();
+    shard.by_ns.clear();
+  }
 }
 
 void KvCluster::recover_server(std::size_t i) {
   MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
   obs::counter("kv.shard_recovered").inc();
   Shard& shard = *shards_[i];
-  std::lock_guard lock(shard.mutex);
+  std::unique_lock lock(shard.mutex);
   shard.up = true;
 }
 
 bool KvCluster::server_up(std::size_t i) const {
   MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
   Shard& shard = *shards_[i];
-  std::lock_guard lock(shard.mutex);
+  std::shared_lock lock(shard.mutex);
   return shard.up;
 }
 
 std::size_t KvCluster::servers_down() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    std::shared_lock lock(shard->mutex);
     if (!shard->up) ++n;
   }
   return n;
@@ -83,34 +130,33 @@ std::size_t KvCluster::servers_down() const {
 
 void KvCluster::inject_transient_errors(std::size_t i, int count) {
   MUMMI_CHECK_MSG(i < shards_.size(), "shard index out of range");
-  Shard& shard = *shards_[i];
-  std::lock_guard lock(shard.mutex);
-  shard.transient_errors += count;
+  shards_[i]->transient_errors.fetch_add(count, std::memory_order_relaxed);
 }
 
 void KvCluster::set(const std::string& key, util::Bytes value) {
   const std::size_t s = server_of(key);
-  check_available(s);
   const double dt =
       cost_.per_query + cost_.per_byte * static_cast<double>(value.size());
+  Shard& shard = *shards_[s];
+  std::unique_lock lock(shard.mutex);
+  check_shard_locked(shard, s);
   add_time(t_writes_, dt);
   static obs::Counter& ops = obs::counter("kv.ops.set");
   ops.inc();
   shard_ops_[s]->inc();
   cost_hist("kv.cost.write_s").observe(dt);
-  Shard& shard = *shards_[s];
-  std::lock_guard lock(shard.mutex);
-  shard.data[key] = std::move(value);
+  auto [it, inserted] = shard.data.insert_or_assign(key, std::move(value));
+  if (inserted) index_add(shard, it->first);
 }
 
 std::optional<util::Bytes> KvCluster::get(const std::string& key) const {
   const std::size_t s = server_of(key);
-  check_available(s);
+  const Shard& shard = *shards_[s];
+  std::shared_lock lock(shard.mutex);
+  check_shard_locked(shard, s);
   static obs::Counter& ops = obs::counter("kv.ops.get");
   ops.inc();
   shard_ops_[s]->inc();
-  const Shard& shard = *shards_[s];
-  std::lock_guard lock(shard.mutex);
   auto it = shard.data.find(key);
   if (it == shard.data.end()) {
     add_time(t_reads_, cost_.per_query);
@@ -126,85 +172,410 @@ std::optional<util::Bytes> KvCluster::get(const std::string& key) const {
 
 bool KvCluster::exists(const std::string& key) const {
   const std::size_t s = server_of(key);
-  check_available(s);
   const Shard& shard = *shards_[s];
-  std::lock_guard lock(shard.mutex);
+  std::shared_lock lock(shard.mutex);
+  check_shard_locked(shard, s);
   return shard.data.count(key) > 0;
 }
 
 bool KvCluster::del(const std::string& key) {
   const std::size_t s = server_of(key);
-  check_available(s);
+  Shard& shard = *shards_[s];
+  std::unique_lock lock(shard.mutex);
+  check_shard_locked(shard, s);
   add_time(t_dels_, cost_.per_query);
   static obs::Counter& ops = obs::counter("kv.ops.del");
   ops.inc();
   shard_ops_[s]->inc();
   cost_hist("kv.cost.del_s").observe(cost_.per_query);
-  Shard& shard = *shards_[s];
-  std::lock_guard lock(shard.mutex);
-  return shard.data.erase(key) > 0;
+  const bool erased = shard.data.erase(key) > 0;
+  if (erased) index_remove(shard, key);
+  return erased;
 }
 
-bool KvCluster::rename(const std::string& from, const std::string& to) {
-  // Same-shard renames move in place; cross-shard falls back to delete+set.
-  // Both shards must be reachable before anything mutates: erasing the
-  // source and then failing the destination write would lose the record.
-  const std::size_t s_from = server_of(from);
-  const std::size_t s_to = server_of(to);
-  check_available(s_from);
-  if (s_to != s_from) check_available(s_to);
-  add_time(t_dels_, cost_.per_query);
-  if (s_from == s_to) {
-    Shard& shard = *shards_[s_from];
-    std::lock_guard lock(shard.mutex);
-    auto it = shard.data.find(from);
-    if (it == shard.data.end()) return false;
-    util::Bytes value = std::move(it->second);
-    shard.data.erase(it);
-    shard.data[to] = std::move(value);
-    return true;
-  }
-  util::Bytes value;
-  {
-    Shard& shard = *shards_[s_from];
-    std::lock_guard lock(shard.mutex);
-    auto it = shard.data.find(from);
-    if (it == shard.data.end()) return false;
-    value = std::move(it->second);
-    shard.data.erase(it);
-  }
-  Shard& dst = *shards_[s_to];
-  std::lock_guard lock(dst.mutex);
-  dst.data[to] = std::move(value);
+bool KvCluster::move_locked(Shard& src, Shard& dst, const std::string& from,
+                            const std::string& to) {
+  auto it = src.data.find(from);
+  if (it == src.data.end()) return false;
+  util::Bytes value = std::move(it->second);
+  src.data.erase(it);
+  index_remove(src, from);
+  auto [dit, inserted] = dst.data.insert_or_assign(to, std::move(value));
+  if (inserted) index_add(dst, dit->first);
   return true;
 }
 
-std::vector<std::string> KvCluster::keys(const std::string& pattern) const {
-  for (std::size_t i = 0; i < shards_.size(); ++i) check_available(i);
-  std::vector<std::string> out;
-  std::size_t scanned = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
-    scanned += shard->data.size();
-    for (const auto& [k, _] : shard->data)
-      if (util::glob_match(pattern, k)) out.push_back(k);
+bool KvCluster::rename(const std::string& from, const std::string& to) {
+  // Same-shard renames move in place under one exclusive lock; cross-shard
+  // renames hold both locks (index order) so availability of *both* shards
+  // is verified before anything mutates — erasing the source and then
+  // finding the destination down would lose the record.
+  const std::size_t s_from = server_of(from);
+  const std::size_t s_to = server_of(to);
+  static obs::Counter& ops = obs::counter("kv.ops.rename");
+  if (s_from == s_to) {
+    Shard& shard = *shards_[s_from];
+    std::unique_lock lock(shard.mutex);
+    check_shard_locked(shard, s_from);
+    add_time(t_dels_, cost_.per_query);
+    ops.inc();
+    shard_ops_[s_from]->inc();
+    return move_locked(shard, shard, from, to);
   }
+  Shard& lo = *shards_[std::min(s_from, s_to)];
+  Shard& hi = *shards_[std::max(s_from, s_to)];
+  std::unique_lock lock_lo(lo.mutex);
+  std::unique_lock lock_hi(hi.mutex);
+  check_shard_locked(*shards_[s_from], s_from);
+  check_shard_locked(*shards_[s_to], s_to);
+  // A cross-shard rename is two round trips: DEL on the source shard plus
+  // SET on the destination.
+  add_time(t_dels_, cost_.per_query);
+  add_time(t_writes_, cost_.per_query);
+  ops.inc();
+  shard_ops_[s_from]->inc();
+  shard_ops_[s_to]->inc();
+  return move_locked(*shards_[s_from], *shards_[s_to], from, to);
+}
+
+std::vector<std::string> KvCluster::scan(const std::string* ns,
+                                         const std::string& pattern) const {
+  const std::size_t n_shards = shards_.size();
+  const std::size_t prefix_len = (ns != nullptr && !ns->empty())
+                                     ? ns->size() + 1  // "<ns>:"
+                                     : 0;
+  std::vector<std::vector<std::string>> slots(n_shards);
+  std::vector<char> scanned_shard(n_shards, 0);
+  std::vector<std::string> errors(n_shards);
+  std::vector<char> failed(n_shards, 0);
+  std::atomic<std::size_t> scanned{0};
+
+  auto visit = [&](std::size_t i) {
+    const Shard& shard = *shards_[i];
+    try {
+      std::shared_lock lock(shard.mutex);
+      check_shard_locked(shard, i);
+      if (ns == nullptr) {
+        // Full scan: every stored key is inspected against the pattern.
+        scanned.fetch_add(shard.data.size(), std::memory_order_relaxed);
+        scanned_shard[i] = 1;
+        for (const auto& [k, _] : shard.data)
+          if (util::glob_match(pattern, k)) slots[i].push_back(k);
+      } else {
+        // Namespace-confined scan: only this namespace's keys are touched,
+        // so cost is independent of every other namespace's population.
+        auto it = shard.by_ns.find(*ns);
+        if (it == shard.by_ns.end()) return;
+        scanned.fetch_add(it->second.size(), std::memory_order_relaxed);
+        scanned_shard[i] = 1;
+        for (const auto& k : it->second) {
+          const std::string_view tail =
+              std::string_view(k).substr(prefix_len);
+          if (util::glob_match(pattern, tail)) slots[i].push_back(k);
+        }
+      }
+    } catch (const util::UnavailableError& err) {
+      failed[i] = 1;
+      errors[i] = err.what();
+    }
+  };
+
+  if (n_shards >= kParallelGroups) {
+    // Fan out over the process pool; tasks capture errors instead of
+    // throwing so every task completes before any rethrow (futures must not
+    // outlive the locals they reference). Slot order keeps results
+    // deterministic regardless of execution order.
+    util::global_pool().parallel_for_blocks(
+        n_shards, 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) visit(i);
+        });
+  } else {
+    for (std::size_t i = 0; i < n_shards; ++i) visit(i);
+  }
+  for (std::size_t i = 0; i < n_shards; ++i)
+    if (failed[i]) throw util::UnavailableError(errors[i]);
+
+  std::vector<std::string> out;
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  out.reserve(total);
+  for (auto& slot : slots)
+    for (auto& k : slot) out.push_back(std::move(k));
+  std::sort(out.begin(), out.end());
+
   const double dt =
-      cost_.per_query * static_cast<double>(shards_.size()) +
-      cost_.per_scanned_key * static_cast<double>(scanned) +
+      cost_.per_query * static_cast<double>(n_shards) +
+      cost_.per_scanned_key *
+          static_cast<double>(scanned.load(std::memory_order_relaxed)) +
       cost_.per_returned_key * static_cast<double>(out.size());
   add_time(t_keys_, dt);
   static obs::Counter& ops = obs::counter("kv.ops.keys");
   ops.inc();
-  for (auto* shard_counter : shard_ops_) shard_counter->inc();
+  // Attribute the scan only to shards that actually walked keys for it.
+  for (std::size_t i = 0; i < n_shards; ++i)
+    if (scanned_shard[i]) shard_ops_[i]->inc();
   obs::histogram("kv.cost.keys_s", 0.0, 30.0, 60).observe(dt);
   return out;
+}
+
+std::vector<std::string> KvCluster::keys(const std::string& pattern) const {
+  // Route patterns with a literal "<ns>:" prefix through the namespace
+  // index; everything else pays the full scan.
+  const std::string_view prefix = util::glob_literal_prefix(pattern);
+  const std::size_t colon = prefix.find(':');
+  if (colon != std::string_view::npos) {
+    const std::string ns(prefix.substr(0, colon));
+    return scan(&ns, pattern.substr(colon + 1));
+  }
+  return scan(nullptr, pattern);
+}
+
+std::vector<std::string> KvCluster::keys(const std::string& ns,
+                                         const std::string& pattern) const {
+  return scan(&ns, pattern);
+}
+
+std::size_t KvCluster::count(const std::string& ns) const {
+  // Index-only metadata query: one round trip per shard, no keys scanned or
+  // transferred — the cost is independent of every namespace's population.
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    std::shared_lock lock(shard.mutex);
+    check_shard_locked(shard, i);
+    auto it = shard.by_ns.find(ns);
+    if (it == shard.by_ns.end()) continue;
+    n += it->second.size();
+    shard_ops_[i]->inc();
+  }
+  add_time(t_keys_,
+           cost_.per_query * static_cast<double>(shards_.size()));
+  static obs::Counter& ops = obs::counter("kv.ops.count");
+  ops.inc();
+  return n;
+}
+
+namespace {
+/// Pending (not-done) input indices grouped by shard, plus the list of
+/// touched shards in index order.
+struct ShardGroups {
+  std::vector<std::vector<std::uint32_t>> by_shard;
+  std::vector<std::size_t> touched;
+  std::size_t pending = 0;
+};
+
+template <typename KeyOf>
+ShardGroups group_pending(std::size_t n, const std::vector<char>& done,
+                          std::size_t n_shards, const KeyOf& shard_of) {
+  ShardGroups g;
+  g.by_shard.resize(n_shards);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    g.by_shard[shard_of(i)].push_back(static_cast<std::uint32_t>(i));
+    ++g.pending;
+  }
+  for (std::size_t s = 0; s < n_shards; ++s)
+    if (!g.by_shard[s].empty()) g.touched.push_back(s);
+  return g;
+}
+}  // namespace
+
+std::vector<std::optional<util::Bytes>> KvCluster::mget(
+    const std::vector<std::string>& keys) const {
+  std::vector<std::optional<util::Bytes>> out(keys.size());
+  std::vector<char> done(keys.size(), 0);
+  mget(keys, out, done);
+  return out;
+}
+
+void KvCluster::mget(const std::vector<std::string>& keys,
+                     std::vector<std::optional<util::Bytes>>& out,
+                     std::vector<char>& done) const {
+  MUMMI_CHECK_MSG(out.size() == keys.size() && done.size() == keys.size(),
+                  "mget result/done vectors must match the key count");
+  const auto groups = group_pending(
+      keys.size(), done, shards_.size(),
+      [&](std::size_t i) { return server_of(keys[i]); });
+  if (groups.pending == 0) return;
+  note_batch("kv.ops.mget", groups.pending);
+
+  std::vector<std::string> errors(groups.touched.size());
+  std::vector<char> failed(groups.touched.size(), 0);
+  auto visit = [&](std::size_t gi) {
+    const std::size_t s = groups.touched[gi];
+    const Shard& shard = *shards_[s];
+    try {
+      std::shared_lock lock(shard.mutex);
+      check_shard_locked(shard, s);
+      double dt = cost_.per_query;  // one pipelined round trip per shard
+      for (const std::uint32_t idx : groups.by_shard[s]) {
+        auto it = shard.data.find(keys[idx]);
+        if (it == shard.data.end()) {
+          out[idx] = std::nullopt;
+        } else {
+          out[idx] = it->second;
+          dt += cost_.per_byte * static_cast<double>(it->second.size());
+        }
+        dt += cost_.batch_per_key;
+        done[idx] = 1;
+      }
+      shard_ops_[s]->inc();
+      add_time(t_reads_, dt);
+    } catch (const util::UnavailableError& err) {
+      failed[gi] = 1;
+      errors[gi] = err.what();
+    }
+  };
+  if (groups.touched.size() >= kParallelGroups) {
+    util::global_pool().parallel_for_blocks(
+        groups.touched.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t gi = begin; gi < end; ++gi) visit(gi);
+        });
+  } else {
+    visit(0);
+  }
+  for (std::size_t gi = 0; gi < groups.touched.size(); ++gi)
+    if (failed[gi]) throw util::UnavailableError(errors[gi]);
+}
+
+void KvCluster::mset(
+    const std::vector<std::pair<std::string, util::Bytes>>& kvs) {
+  std::vector<char> done(kvs.size(), 0);
+  mset(kvs, done);
+}
+
+void KvCluster::mset(const std::vector<std::pair<std::string, util::Bytes>>& kvs,
+                     std::vector<char>& done) {
+  MUMMI_CHECK_MSG(done.size() == kvs.size(),
+                  "mset done vector must match the record count");
+  const auto groups = group_pending(
+      kvs.size(), done, shards_.size(),
+      [&](std::size_t i) { return server_of(kvs[i].first); });
+  if (groups.pending == 0) return;
+  note_batch("kv.ops.mset", groups.pending);
+
+  for (const std::size_t s : groups.touched) {
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    check_shard_locked(shard, s);
+    double dt = cost_.per_query;
+    for (const std::uint32_t idx : groups.by_shard[s]) {
+      const auto& [key, value] = kvs[idx];
+      dt += cost_.batch_per_key +
+            cost_.per_byte * static_cast<double>(value.size());
+      auto [it, inserted] = shard.data.insert_or_assign(key, value);
+      if (inserted) index_add(shard, it->first);
+      done[idx] = 1;
+    }
+    shard_ops_[s]->inc();
+    add_time(t_writes_, dt);
+  }
+}
+
+std::size_t KvCluster::mdel(const std::vector<std::string>& keys) {
+  std::vector<char> deleted(keys.size(), 0);
+  std::vector<char> done(keys.size(), 0);
+  mdel(keys, deleted, done);
+  return static_cast<std::size_t>(
+      std::count(deleted.begin(), deleted.end(), 1));
+}
+
+void KvCluster::mdel(const std::vector<std::string>& keys,
+                     std::vector<char>& deleted, std::vector<char>& done) {
+  MUMMI_CHECK_MSG(deleted.size() == keys.size() && done.size() == keys.size(),
+                  "mdel result/done vectors must match the key count");
+  const auto groups = group_pending(
+      keys.size(), done, shards_.size(),
+      [&](std::size_t i) { return server_of(keys[i]); });
+  if (groups.pending == 0) return;
+  note_batch("kv.ops.mdel", groups.pending);
+
+  for (const std::size_t s : groups.touched) {
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    check_shard_locked(shard, s);
+    double dt = cost_.per_query;
+    for (const std::uint32_t idx : groups.by_shard[s]) {
+      dt += cost_.batch_per_key;
+      if (shard.data.erase(keys[idx]) > 0) {
+        index_remove(shard, keys[idx]);
+        deleted[idx] = 1;
+      }
+      done[idx] = 1;
+    }
+    shard_ops_[s]->inc();
+    add_time(t_dels_, dt);
+  }
+}
+
+std::size_t KvCluster::mrename(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<char> renamed(pairs.size(), 0);
+  std::vector<char> done(pairs.size(), 0);
+  mrename(pairs, renamed, done);
+  return static_cast<std::size_t>(
+      std::count(renamed.begin(), renamed.end(), 1));
+}
+
+void KvCluster::mrename(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    std::vector<char>& renamed, std::vector<char>& done) {
+  MUMMI_CHECK_MSG(renamed.size() == pairs.size() && done.size() == pairs.size(),
+                  "mrename result/done vectors must match the pair count");
+  const auto groups = group_pending(
+      pairs.size(), done, shards_.size(),
+      [&](std::size_t i) { return server_of(pairs[i].first); });
+  if (groups.pending == 0) return;
+  note_batch("kv.ops.mrename", groups.pending);
+
+  // Source-shard groups apply serially in shard order. Each group locks its
+  // source shard plus every destination shard it touches, all exclusively
+  // and in ascending index order (the cluster-wide lock order), then checks
+  // availability of the whole set before moving anything — a down
+  // destination aborts the group with its records still on the source.
+  for (const std::size_t s : groups.touched) {
+    std::vector<std::size_t> involved{s};
+    std::size_t cross_pairs = 0;
+    for (const std::uint32_t idx : groups.by_shard[s]) {
+      const std::size_t d = server_of(pairs[idx].second);
+      if (d != s) {
+        involved.push_back(d);
+        ++cross_pairs;
+      }
+    }
+    std::sort(involved.begin(), involved.end());
+    involved.erase(std::unique(involved.begin(), involved.end()),
+                   involved.end());
+
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(involved.size());
+    for (const std::size_t i : involved)
+      locks.emplace_back(shards_[i]->mutex);
+    for (const std::size_t i : involved)
+      check_shard_locked(*shards_[i], i);
+
+    for (const std::uint32_t idx : groups.by_shard[s]) {
+      const auto& [from, to] = pairs[idx];
+      if (move_locked(*shards_[s], *shards_[server_of(to)], from, to))
+        renamed[idx] = 1;
+      done[idx] = 1;
+    }
+    // One DEL round trip on the source shard plus one SET round trip per
+    // distinct destination shard; cross-shard pairs pay the marginal twice.
+    add_time(t_dels_, cost_.per_query +
+                          cost_.batch_per_key *
+                              static_cast<double>(groups.by_shard[s].size()));
+    add_time(t_writes_,
+             cost_.per_query * static_cast<double>(involved.size() - 1) +
+                 cost_.batch_per_key * static_cast<double>(cross_pairs));
+    for (const std::size_t i : involved) shard_ops_[i]->inc();
+  }
 }
 
 std::size_t KvCluster::total_keys() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    std::shared_lock lock(shard->mutex);
     n += shard->data.size();
   }
   return n;
@@ -213,7 +584,7 @@ std::size_t KvCluster::total_keys() const {
 std::uint64_t KvCluster::total_bytes() const {
   std::uint64_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    std::shared_lock lock(shard->mutex);
     for (const auto& [_, v] : shard->data) n += v.size();
   }
   return n;

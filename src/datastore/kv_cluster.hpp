@@ -6,19 +6,30 @@
 // time per feedback loop."
 //
 // KvCluster implements the query surface the feedback loop uses — SET / GET /
-// KEYS(pattern) / DEL / RENAME — over N mutex-guarded hash shards. A cost
-// model *accounts* (never sleeps) virtual network time per operation so
-// benches can report Summit-calibrated latencies (Fig. 7) while running at
-// memory speed.
+// KEYS(pattern) / DEL / RENAME plus the pipelined batch forms MGET / MSET /
+// MDEL / MRENAME — over N shards guarded by shared mutexes (shared for
+// reads, exclusive for mutations). Each shard keeps a secondary
+// namespace index ("<ns>:" key prefix -> key set) so namespace-confined
+// listing and counting are O(keys-in-namespace), not O(total keys) — the
+// property the paper's tagging strategy exists to provide ("feedback cost
+// scales with the number of ongoing simulations, not with history").
+//
+// A cost model *accounts* (never sleeps) virtual network time per operation
+// so benches can report Summit-calibrated latencies (Fig. 7) while running at
+// memory speed. Batched operations charge Redis-pipelining semantics: one
+// round trip per shard touched plus a small per-key marginal, which is where
+// the measured collect+tag speedup comes from.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -38,6 +49,9 @@ struct KvCostModel {
   double per_byte = 2.0e-9;         // payload transfer
   double per_scanned_key = 2.0e-8;  // KEYS pattern scan per stored key
   double per_returned_key = 1.0e-4;  // KEYS result transfer per matched key
+  /// Marginal per sub-operation inside a pipelined batch: the per-key server
+  /// work once the round trip is amortized over the whole shard group.
+  double batch_per_key = 2.0e-5;
 };
 
 class KvCluster {
@@ -46,21 +60,72 @@ class KvCluster {
   /// Redis hash slots.
   explicit KvCluster(std::size_t n_servers, KvCostModel cost = {});
 
-  /// Operations on a down shard throw util::UnavailableError. Cross-shard
-  /// renames verify both shards are reachable *before* mutating, so a down
+  /// Operations on a down shard throw util::UnavailableError. Availability
+  /// is checked under the same shard lock as the data access (no
+  /// check-then-act window). Cross-shard renames hold both shard locks (in
+  /// index order) and verify both are reachable *before* mutating, so a down
   /// destination never loses the source record.
   void set(const std::string& key, util::Bytes value);
   [[nodiscard]] std::optional<util::Bytes> get(const std::string& key) const;
   [[nodiscard]] bool exists(const std::string& key) const;
   bool del(const std::string& key);
   /// Renames a key (the feedback "tagging" primitive). Returns false when
-  /// the source key is absent. Cross-shard renames are delete+set.
+  /// the source key is absent. Cross-shard renames are delete+set and charge
+  /// two round trips (one per shard).
   bool rename(const std::string& from, const std::string& to);
 
-  /// All keys matching a glob pattern, across every shard. Throws
-  /// util::UnavailableError if any shard is down (a partial scan would be
-  /// silent data loss for the feedback loop).
+  /// All keys matching a glob pattern, across every shard, in sorted order.
+  /// Patterns with a literal "<ns>:" prefix ("rdf-pending:*") are routed
+  /// through the namespace index and never scan other namespaces' keys.
+  /// Throws util::UnavailableError if any shard is down (a partial scan
+  /// would be silent data loss for the feedback loop).
   [[nodiscard]] std::vector<std::string> keys(const std::string& pattern) const;
+
+  /// Namespace-confined listing: full keys "<ns>:<tail>" whose tail matches
+  /// `pattern` (`ns` empty selects keys containing no ':'). O(keys in `ns`),
+  /// independent of every other namespace. Sorted order.
+  [[nodiscard]] std::vector<std::string> keys(const std::string& ns,
+                                              const std::string& pattern) const;
+
+  /// Number of keys in a namespace, from the index alone — no key is
+  /// scanned or transferred.
+  [[nodiscard]] std::size_t count(const std::string& ns) const;
+
+  // --- pipelined batch operations ------------------------------------------
+  // Redis-pipelining semantics: sub-ops are grouped per shard, each touched
+  // shard's lock is taken once, and the cost model charges one round trip per
+  // shard touched plus `batch_per_key` per sub-op. Results land at the same
+  // index as the input key. The `done` forms let a retrying client resume a
+  // partially applied batch: entries whose `done[i]` is nonzero are skipped,
+  // and each sub-op sets its flag the moment its shard group commits — a
+  // mid-batch UnavailableError therefore never double-applies completed
+  // sub-ops. Batches with duplicate keys (or rename pairs sharing keys)
+  // resolve same-shard conflicts in input order and cross-shard conflicts in
+  // shard order.
+
+  [[nodiscard]] std::vector<std::optional<util::Bytes>> mget(
+      const std::vector<std::string>& keys) const;
+  void mget(const std::vector<std::string>& keys,
+            std::vector<std::optional<util::Bytes>>& out,
+            std::vector<char>& done) const;
+
+  void mset(const std::vector<std::pair<std::string, util::Bytes>>& kvs);
+  void mset(const std::vector<std::pair<std::string, util::Bytes>>& kvs,
+            std::vector<char>& done);
+
+  /// Returns the number of keys that existed and were deleted.
+  std::size_t mdel(const std::vector<std::string>& keys);
+  void mdel(const std::vector<std::string>& keys, std::vector<char>& deleted,
+            std::vector<char>& done);
+
+  /// Batched tagging: renames each (from, to) pair. Returns the number of
+  /// pairs whose source existed. Cross-shard pairs lock source and
+  /// destination shards together (index order) so a down destination aborts
+  /// the group before any of its records move.
+  std::size_t mrename(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+  void mrename(const std::vector<std::pair<std::string, std::string>>& pairs,
+               std::vector<char>& renamed, std::vector<char>& done);
 
   // --- fault injection (paper Sec. 4.4: "Redis server deaths") -------------
   /// Takes shard `i` down; `wipe` additionally loses its in-memory data
@@ -73,7 +138,8 @@ class KvCluster {
   [[nodiscard]] std::size_t servers_down() const;
   /// The next `count` operations touching shard `i` fail transiently with
   /// util::UnavailableError (flaky network), then service resumes — the
-  /// deterministic way to exercise bounded-backoff retry paths.
+  /// deterministic way to exercise bounded-backoff retry paths. A batch
+  /// operation consumes one per shard visit (it is one round trip).
   void inject_transient_errors(std::size_t i, int count);
 
   [[nodiscard]] std::size_t n_servers() const { return shards_.size(); }
@@ -87,26 +153,50 @@ class KvCluster {
   [[nodiscard]] double sim_seconds_reads() const { return t_reads_.load(); }
   [[nodiscard]] double sim_seconds_deletes() const { return t_dels_.load(); }
   [[nodiscard]] double sim_seconds_writes() const { return t_writes_.load(); }
+  /// Sum of the four per-class ledgers — what benches report as "KV time".
+  [[nodiscard]] double total_sim_seconds() const;
   void reset_sim_time();
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    /// Lock discipline: shared for get/exists/keys/count/mget, exclusive for
+    /// every mutation and for fail/recover. `transient_errors` is atomic so
+    /// a shared-lock read can consume an injected error without upgrading.
+    mutable std::shared_mutex mutex;
     std::unordered_map<std::string, util::Bytes> data;
+    /// Secondary index: namespace -> keys. The namespace of a key is the
+    /// prefix before its first ':' ("" for keys without one). Kept exactly
+    /// in sync with `data` under the exclusive lock; empty sets are erased
+    /// so count()/keys(ns) never iterate dead namespaces.
+    std::unordered_map<std::string, std::unordered_set<std::string>> by_ns;
     bool up = true;
-    int transient_errors = 0;  // remaining injected op failures
+    // Remaining injected op failures; mutable so a const read path holding
+    // only the shared lock can consume one.
+    mutable std::atomic<int> transient_errors{0};
   };
 
   static void add_time(std::atomic<double>& counter, double dt);
-  /// Throws UnavailableError if the shard is down or consumes one injected
-  /// transient error. Callers hold no lock; this takes the shard's briefly.
-  void check_available(std::size_t i) const;
+  static std::string_view ns_of(std::string_view key);
+  static void index_add(Shard& shard, const std::string& key);
+  static void index_remove(Shard& shard, const std::string& key);
+  /// Availability check folded into the data op: caller holds `shard`'s lock
+  /// (shared or exclusive). Throws UnavailableError if the shard is down or
+  /// consumes one injected transient error.
+  void check_shard_locked(const Shard& shard, std::size_t i) const;
+  /// Shared scan implementation for keys(pattern) and keys(ns, pattern).
+  [[nodiscard]] std::vector<std::string> scan(const std::string* ns,
+                                              const std::string& pattern) const;
+  /// Same-slot move of `from`'s record to `to` across (possibly identical)
+  /// shards; caller holds both exclusive locks. Returns false when absent.
+  static bool move_locked(Shard& src, Shard& dst, const std::string& from,
+                          const std::string& to);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   KvCostModel cost_;
   /// Per-shard op counters ("kv.shard.<i>.ops"), cached at construction so
   /// the hot KV paths never build a metric name. Registry handles are
-  /// process-stable, and clusters of equal size share them.
+  /// process-stable, and clusters of equal size share them. A batch visit
+  /// counts once per shard touched (it models one pipelined round trip).
   std::vector<obs::Counter*> shard_ops_;
   mutable std::atomic<double> t_keys_{0.0};
   mutable std::atomic<double> t_reads_{0.0};

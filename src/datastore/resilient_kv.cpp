@@ -1,5 +1,7 @@
 #include "datastore/resilient_kv.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -109,6 +111,51 @@ bool ResilientKvClient::rename(const std::string& from, const std::string& to) {
 
 std::vector<std::string> ResilientKvClient::keys(const std::string& pattern) {
   return guarded(-1, [&] { return kv_.keys(pattern); });
+}
+
+std::vector<std::optional<util::Bytes>> ResilientKvClient::get_many(
+    const std::vector<std::string>& keys) {
+  // `out`/`done` outlive the attempts: a retried call resumes with the
+  // already-fetched entries in place and only re-queries unfinished shards.
+  std::vector<std::optional<util::Bytes>> out(keys.size());
+  std::vector<char> done(keys.size(), 0);
+  guarded(-1, [&] {
+    kv_.mget(keys, out, done);
+    return true;
+  });
+  return out;
+}
+
+void ResilientKvClient::set_many(
+    const std::vector<std::pair<std::string, util::Bytes>>& kvs) {
+  std::vector<char> done(kvs.size(), 0);
+  guarded(-1, [&] {
+    kv_.mset(kvs, done);
+    return true;
+  });
+}
+
+std::size_t ResilientKvClient::del_many(const std::vector<std::string>& keys) {
+  std::vector<char> deleted(keys.size(), 0);
+  std::vector<char> done(keys.size(), 0);
+  guarded(-1, [&] {
+    kv_.mdel(keys, deleted, done);
+    return true;
+  });
+  return static_cast<std::size_t>(
+      std::count(deleted.begin(), deleted.end(), 1));
+}
+
+std::size_t ResilientKvClient::rename_many(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<char> renamed(pairs.size(), 0);
+  std::vector<char> done(pairs.size(), 0);
+  guarded(-1, [&] {
+    kv_.mrename(pairs, renamed, done);
+    return true;
+  });
+  return static_cast<std::size_t>(
+      std::count(renamed.begin(), renamed.end(), 1));
 }
 
 ResilientKvClient::BreakerState ResilientKvClient::breaker_state(

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datastore/kv_cluster.hpp"
@@ -60,6 +61,21 @@ class ResilientKvClient {
   bool del(const std::string& key);
   bool rename(const std::string& from, const std::string& to);
   [[nodiscard]] std::vector<std::string> keys(const std::string& pattern);
+
+  // Batched forms with batch-aware retry: each carries a per-sub-op done
+  // mask across attempts, so a mid-batch transient retries only the shard
+  // groups that had not committed — completed sub-ops are never re-applied
+  // (an mdel/mrename replay would misreport them as missing, and every
+  // replayed sub-op would double-charge virtual time). Guarded by the
+  // cluster-wide breaker, like keys(): a batch spans shards.
+  [[nodiscard]] std::vector<std::optional<util::Bytes>> get_many(
+      const std::vector<std::string>& keys);
+  void set_many(const std::vector<std::pair<std::string, util::Bytes>>& kvs);
+  /// Returns the number of keys that existed and were deleted.
+  std::size_t del_many(const std::vector<std::string>& keys);
+  /// Returns the number of pairs whose source existed and was renamed.
+  std::size_t rename_many(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
 
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
   [[nodiscard]] BreakerState breaker_state(std::size_t shard) const;

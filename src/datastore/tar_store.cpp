@@ -59,6 +59,40 @@ void TarStore::move(const std::string& src_ns, const std::string& key,
   archive(src_ns).erase_key(key);
 }
 
+std::vector<util::Bytes> TarStore::get_many(
+    const std::string& ns, const std::vector<std::string>& keys) const {
+  TarIdx& tar = archive(ns);
+  std::vector<util::Bytes> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) {
+    auto data = tar.read(key);
+    if (!data) throw util::StoreError("missing record: " + ns + "/" + key);
+    out.push_back(std::move(*data));
+  }
+  return out;
+}
+
+void TarStore::put_many(
+    const std::string& ns,
+    const std::vector<std::pair<std::string, util::Bytes>>& records) {
+  TarIdx& tar = archive(ns);
+  for (const auto& [key, value] : records) tar.append(key, value);
+}
+
+void TarStore::move_many(const std::string& src_ns,
+                         const std::vector<std::string>& keys,
+                         const std::string& dst_ns) {
+  if (keys.empty()) return;
+  TarIdx& src = archive(src_ns);
+  TarIdx& dst = archive(dst_ns);
+  for (const auto& key : keys) {
+    auto data = src.read(key);
+    if (!data) throw util::StoreError("missing record: " + src_ns + "/" + key);
+    dst.append(key, *data);
+    src.erase_key(key);
+  }
+}
+
 void TarStore::flush() {
   std::lock_guard lock(mutex_);
   for (auto& [_, tar] : archives_) tar->flush();

@@ -30,6 +30,17 @@ class TarStore final : public DataStore {
   bool erase(const std::string& ns, const std::string& key) override;
   void move(const std::string& src_ns, const std::string& key,
             const std::string& dst_ns) override;
+  // Batched forms resolve each namespace's archive once per batch instead of
+  // once per record (archive lookup takes the store-wide mutex).
+  [[nodiscard]] std::vector<util::Bytes> get_many(
+      const std::string& ns,
+      const std::vector<std::string>& keys) const override;
+  void put_many(const std::string& ns,
+                const std::vector<std::pair<std::string, util::Bytes>>&
+                    records) override;
+  void move_many(const std::string& src_ns,
+                 const std::vector<std::string>& keys,
+                 const std::string& dst_ns) override;
   void flush() override;
   [[nodiscard]] std::string backend() const override { return "taridx"; }
 

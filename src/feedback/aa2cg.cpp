@@ -13,15 +13,26 @@ AaToCgFeedback::AaToCgFeedback(ds::DataStorePtr store, Aa2CgConfig config)
 IterationStats AaToCgFeedback::iterate() {
   IterationStats stats;
 
-  // Phase 1 — collect: identify and fetch new pattern records.
+  // Phase 1 — collect: identify and fetch new pattern records. The batched
+  // path fetches the whole pending set in one pipelined round trip.
   const auto keys = store_->keys(config_.pending_ns, "*");
   stats.collect_virtual +=
       config_.costs.identify_per_key * static_cast<double>(keys.size());
   std::vector<std::string> patterns;
   patterns.reserve(keys.size());
-  for (const auto& key : keys) {
-    patterns.push_back(store_->get_text(config_.pending_ns, key));
-    stats.collect_virtual += config_.costs.read_per_record;
+  if (config_.batched) {
+    if (!keys.empty()) {
+      auto blobs = store_->get_many(config_.pending_ns, keys);
+      stats.collect_virtual +=
+          config_.costs.batch_round_trip +
+          config_.costs.read_batch_per_record * static_cast<double>(keys.size());
+      for (const auto& blob : blobs) patterns.push_back(util::to_string(blob));
+    }
+  } else {
+    for (const auto& key : keys) {
+      patterns.push_back(store_->get_text(config_.pending_ns, key));
+      stats.collect_virtual += config_.costs.read_per_record;
+    }
   }
 
   // Phase 2 — process: the per-frame external-call cost, amortized over the
@@ -54,9 +65,18 @@ IterationStats AaToCgFeedback::iterate() {
   }
 
   // Phase 4 — tag.
-  for (const auto& key : keys) {
-    store_->move(config_.pending_ns, key, config_.done_ns);
-    stats.tag_virtual += config_.costs.tag_per_record;
+  if (config_.batched) {
+    if (!keys.empty()) {
+      store_->move_many(config_.pending_ns, keys, config_.done_ns);
+      stats.tag_virtual +=
+          config_.costs.batch_round_trip +
+          config_.costs.tag_batch_per_record * static_cast<double>(keys.size());
+    }
+  } else {
+    for (const auto& key : keys) {
+      store_->move(config_.pending_ns, key, config_.done_ns);
+      stats.tag_virtual += config_.costs.tag_per_record;
+    }
   }
   return stats;
 }

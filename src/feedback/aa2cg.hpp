@@ -55,6 +55,9 @@ struct Aa2CgConfig {
   int pool_size = 6;
   /// Fixed phase overhead per iteration (pool spin-up, temp files).
   double phase_overhead = 60.0;
+  /// Collect and tag through the batched store API (one pipelined round trip
+  /// per phase) instead of a per-record loop.
+  bool batched = true;
   FeedbackCosts costs = FeedbackCosts::redis();
 };
 

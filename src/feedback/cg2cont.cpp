@@ -48,18 +48,31 @@ double CgToContinuumFeedback::weight_from_rdf(
 IterationStats CgToContinuumFeedback::iterate() {
   IterationStats stats;
 
-  // Collect: identify new records, then fetch them.
+  // Collect: identify new records, then fetch them — one pipelined round
+  // trip on the batched path, a per-record loop otherwise.
   const auto keys = store_->keys(config_.pending_ns, "*");
   stats.collect_virtual +=
       config_.costs.identify_per_key * static_cast<double>(keys.size());
+  std::vector<util::Bytes> blobs;
+  if (config_.batched && !keys.empty()) {
+    blobs = store_->get_many(config_.pending_ns, keys);
+    stats.collect_virtual +=
+        config_.costs.batch_round_trip +
+        config_.costs.read_batch_per_record * static_cast<double>(keys.size());
+  }
 
   // Aggregate per protein state.
   std::vector<coupling::RdfSet> agg(cont::kNumProteinStates);
   std::vector<bool> seen(cont::kNumProteinStates, false);
-  for (const auto& key : keys) {
-    const auto record = FeedbackRecord::deserialize(
-        store_->get(config_.pending_ns, key));
-    stats.collect_virtual += config_.costs.read_per_record;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    FeedbackRecord record;
+    if (config_.batched) {
+      record = FeedbackRecord::deserialize(blobs[i]);
+    } else {
+      record =
+          FeedbackRecord::deserialize(store_->get(config_.pending_ns, keys[i]));
+      stats.collect_virtual += config_.costs.read_per_record;
+    }
     const auto s = static_cast<std::size_t>(record.state);
     if (!seen[s]) {
       agg[s] = record.rdfs;
@@ -97,9 +110,18 @@ IterationStats CgToContinuumFeedback::iterate() {
 
   // Tag: move processed records out of the pending namespace so the next
   // iteration's cost scales only with new data.
-  for (const auto& key : keys) {
-    store_->move(config_.pending_ns, key, config_.done_ns);
-    stats.tag_virtual += config_.costs.tag_per_record;
+  if (config_.batched) {
+    if (!keys.empty()) {
+      store_->move_many(config_.pending_ns, keys, config_.done_ns);
+      stats.tag_virtual +=
+          config_.costs.batch_round_trip +
+          config_.costs.tag_batch_per_record * static_cast<double>(keys.size());
+    }
+  } else {
+    for (const auto& key : keys) {
+      store_->move(config_.pending_ns, key, config_.done_ns);
+      stats.tag_virtual += config_.costs.tag_per_record;
+    }
   }
   return stats;
 }

@@ -37,6 +37,9 @@ struct Cg2ContConfig {
   double contact_radius = 0.8;   // nm: bins below this count as contact
   double weight_scale = 0.5;     // enrichment -> coupling magnitude
   double smoothing = 0.3;        // EMA factor applied to the running model
+  /// Collect and tag through the batched store API (one pipelined round trip
+  /// per phase) instead of a per-record loop.
+  bool batched = true;
   FeedbackCosts costs = FeedbackCosts::redis();
 };
 

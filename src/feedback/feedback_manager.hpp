@@ -35,11 +35,25 @@ struct FeedbackCosts {
   double tag_per_record = 1e-4;     // move out of the namespace
   double process_per_frame = 1e-4;  // aggregate one record's arrays
 
-  /// In-memory database rates (Fig. 7 scale).
+  // Batched (pipelined) rates: one round trip amortizes the per-op network
+  // latency across the whole batch, leaving only the per-record marginal.
+  double batch_round_trip = 2e-3;        // fixed cost per batched call
+  double read_batch_per_record = 2.5e-5; // fetch one record inside a batch
+  double tag_batch_per_record = 2e-5;    // move one record inside a batch
+
+  /// In-memory database rates (Fig. 7 scale). Batch fields keep their
+  /// defaults: Redis pipelining is what makes batching pay off.
   static FeedbackCosts redis() { return {1e-4, 5e-4, 1e-4, 1e-4}; }
   /// Contended parallel filesystem with throttled I/O (the pre-Redis path:
-  /// directory locking, OS-level blocking, explicit rate limits).
-  static FeedbackCosts gpfs_throttled() { return {4e-3, 2e-2, 1e-2, 1e-4}; }
+  /// directory locking, OS-level blocking, explicit rate limits). There is
+  /// no pipelining on a filesystem: batched rates equal per-record rates.
+  static FeedbackCosts gpfs_throttled() {
+    FeedbackCosts c{4e-3, 2e-2, 1e-2, 1e-4};
+    c.batch_round_trip = 0.0;
+    c.read_batch_per_record = c.read_per_record;
+    c.tag_batch_per_record = c.tag_per_record;
+    return c;
+  }
 };
 
 class FeedbackManager {

@@ -50,7 +50,19 @@ std::string format(const char* fmt, ...) {
   return out;
 }
 
+std::string_view glob_literal_prefix(std::string_view pattern) {
+  const std::size_t wild = pattern.find_first_of("*?");
+  return wild == std::string_view::npos ? pattern : pattern.substr(0, wild);
+}
+
 bool glob_match(std::string_view pattern, std::string_view text) {
+  // Fast paths for the two shapes namespace scans produce in bulk: a bare
+  // "*" and a literal prefix followed by a single trailing '*'.
+  if (pattern.size() == 1 && pattern[0] == '*') return true;
+  const std::size_t wild = pattern.find_first_of("*?");
+  if (wild != std::string_view::npos && pattern[wild] == '*' &&
+      wild + 1 == pattern.size())
+    return text.size() >= wild && text.substr(0, wild) == pattern.substr(0, wild);
   // Iterative wildcard match with backtracking on the last '*'.
   std::size_t p = 0, t = 0;
   std::size_t star = std::string_view::npos, mark = 0;

@@ -121,6 +121,73 @@ TEST_F(ResilientKvTest, RenameSurvivesTransientDestinationErrors) {
   EXPECT_EQ(util::to_string(*client.get(to)), "payload");
 }
 
+TEST_F(ResilientKvTest, GetManyRetriesResumeWithoutRefetch) {
+  auto client = make_client();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("batch:" + std::to_string(i));
+    client.set(keys.back(), util::to_bytes("v" + std::to_string(i)));
+  }
+  // One shard blips once: the first batch attempt fails mid-flight, the
+  // retry resumes from the done mask and only revisits unfinished shards.
+  kv_.inject_transient_errors(1, 1);
+  const auto out = client.get_many(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(util::to_string(*out[i]), "v" + std::to_string(i));
+  EXPECT_EQ(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().failures, 0u);
+}
+
+TEST_F(ResilientKvTest, DelManyMidBatchTransientDoesNotDoubleApply) {
+  auto client = make_client();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("batch:" + std::to_string(i));
+    client.set(keys.back(), util::to_bytes("x"));
+  }
+  // Whichever shard group runs into the blip retries; groups that already
+  // deleted their keys are skipped on the retry. A replay would find those
+  // keys absent and the count would come up short of 40.
+  kv_.inject_transient_errors(2, 1);
+  EXPECT_EQ(client.del_many(keys), keys.size());
+  for (const auto& key : keys) EXPECT_FALSE(client.exists(key));
+  EXPECT_EQ(client.stats().retries, 1u);
+}
+
+TEST_F(ResilientKvTest, RenameManyMidBatchTransientExactCount) {
+  auto client = make_client();
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 40; ++i) {
+    const std::string from = "pending:" + std::to_string(i);
+    client.set(from, util::to_bytes("p" + std::to_string(i)));
+    pairs.emplace_back(from, "done:" + std::to_string(i));
+  }
+  kv_.inject_transient_errors(3, 1);
+  // Exact count despite the mid-batch retry: already-renamed pairs are not
+  // replayed (a replay would return false for them).
+  EXPECT_EQ(client.rename_many(pairs), pairs.size());
+  for (const auto& [from, to] : pairs) {
+    EXPECT_FALSE(client.exists(from));
+    EXPECT_TRUE(client.exists(to));
+  }
+  EXPECT_EQ(kv_.total_keys(), pairs.size());
+}
+
+TEST_F(ResilientKvTest, BatchOutageOpensClusterWideBreaker) {
+  auto client = make_client();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10; ++i) {
+    keys.push_back("batch:" + std::to_string(i));
+    client.set(keys.back(), util::to_bytes("x"));
+  }
+  kv_.fail_server(0);
+  EXPECT_THROW((void)client.get_many(keys), util::UnavailableError);
+  EXPECT_THROW((void)client.get_many(keys), util::UnavailableError);
+  EXPECT_EQ(client.breaker_state(kv_.n_servers()),
+            ds::ResilientKvClient::BreakerState::kOpen);
+}
+
 TEST_F(ResilientKvTest, KeysGuardedByClusterWideBreaker) {
   auto client = make_client();
   client.set("a", util::to_bytes("1"));

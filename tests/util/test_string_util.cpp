@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
 namespace mummi::util {
 namespace {
 
@@ -61,6 +66,63 @@ INSTANTIATE_TEST_SUITE_P(
         GlobCase{"a*b*c", "axxbyyc", true}, GlobCase{"a*b*c", "axxcyyb", false},
         GlobCase{"", "", true}, GlobCase{"", "x", false},
         GlobCase{"**", "x", true}, GlobCase{"?", "", false}));
+
+TEST(StringUtil, GlobLiteralPrefix) {
+  EXPECT_EQ(glob_literal_prefix("rdf-pending:*"), "rdf-pending:");
+  EXPECT_EQ(glob_literal_prefix("abc"), "abc");
+  EXPECT_EQ(glob_literal_prefix("*"), "");
+  EXPECT_EQ(glob_literal_prefix("a?c"), "a");
+  EXPECT_EQ(glob_literal_prefix(""), "");
+  EXPECT_EQ(glob_literal_prefix("ns:key*suffix"), "ns:key");
+}
+
+// Reference matcher: the textbook exponential recursion, correct by
+// inspection. The production matcher's prefix fast paths must agree with it
+// on every input.
+bool ref_glob(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '*')
+    return ref_glob(pattern.substr(1), text) ||
+           (!text.empty() && ref_glob(pattern, text.substr(1)));
+  if (text.empty()) return false;
+  if (pattern[0] == '?' || pattern[0] == text[0])
+    return ref_glob(pattern.substr(1), text.substr(1));
+  return false;
+}
+
+TEST(StringUtil, GlobPrefixFastPathAgreesWithReference) {
+  // Randomized prefix+"*" patterns — the shape the namespace index routes —
+  // checked against texts that share all, part, or none of the prefix.
+  Rng rng(20260806);
+  const std::string alphabet = "ab:-x";
+  auto rand_str = [&](std::size_t max_len) {
+    std::string s;
+    const auto len = rng.uniform_index(max_len + 1);
+    for (std::uint64_t i = 0; i < len; ++i)
+      s += alphabet[static_cast<std::size_t>(
+          rng.uniform_index(alphabet.size()))];
+    return s;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::string prefix = rand_str(8);
+    const std::string pattern = prefix + "*";
+    const std::string tail = rand_str(6);
+    // Texts: exact prefix+tail, bare prefix, truncated prefix, unrelated.
+    for (const std::string& text :
+         {prefix + tail, prefix, prefix.substr(0, prefix.size() / 2),
+          rand_str(10)}) {
+      EXPECT_EQ(glob_match(pattern, text), ref_glob(pattern, text))
+          << pattern << " vs " << text;
+    }
+  }
+  // Non-trailing wildcards must still take the general path and agree.
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string pattern = rand_str(4) + "*" + rand_str(3) + "?";
+    const std::string text = rand_str(10);
+    EXPECT_EQ(glob_match(pattern, text), ref_glob(pattern, text))
+        << pattern << " vs " << text;
+  }
+}
 
 TEST(StringUtil, HumanBytes) {
   EXPECT_EQ(human_bytes(512), "512.0 B");
