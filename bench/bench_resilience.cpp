@@ -43,6 +43,41 @@ struct Sample {
   double goodput_us_per_node_h = 0;
 };
 
+// Supervision sweep: the same hang/straggler/poison-laden campaign with the
+// watchdog plane off vs on. Setup-heavy regime (fast setups, short sims, a
+// small cluster) so every hung setup visibly starves the GPU pipeline — the
+// configuration the campaign-level supervision tests validate.
+wm::CampaignConfig supervised_config(bool full) {
+  wm::CampaignConfig config;
+  if (full) {
+    config.runs = {{8, 6, 1}};
+    config.proteins_per_snapshot = 40;
+  } else {
+    config.runs = {{4, 3, 1}};
+    config.proteins_per_snapshot = 20;
+  }
+  config.perf.createsim_mean_s = 300;
+  config.perf.backmap_mean_s = 300;
+  config.cg_min_us = 0.05;
+  config.cg_mean_us = 0.08;
+  config.cg_max_us = 0.10;
+  config.seed = 11;
+  config.faults.seed = 9;
+  return config;
+}
+
+struct SupSample {
+  double hang_rate_per_h = 0;
+  double unsup_cg_total_us = 0;
+  double sup_cg_total_us = 0;
+  double unsup_goodput = 0;
+  double sup_goodput = 0;
+  std::uint64_t hangs_detected = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t unsup_cg_sims = 0;
+  std::uint64_t sup_cg_sims = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,5 +151,104 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
+
+  // --- supervised-vs-unsupervised sweep ------------------------------------
+  const std::vector<double> hang_rates = {0.0, 2.0, 4.0, 6.0, 8.0};
+  std::printf("\n=== Supervision sweep: goodput vs job-hang rate ===\n\n");
+  std::printf("%8s %12s %12s %10s %8s %8s\n", "hangs/h", "unsup_cg_us",
+              "sup_cg_us", "recovered", "caught", "quar");
+
+  std::vector<SupSample> sup_samples;
+  for (const double rate : hang_rates) {
+    auto config = supervised_config(full);
+    config.faults.job_hang_rate_per_h = rate;
+    const auto unsup = wm::Campaign(config).run();
+    config.supervise.enabled = true;
+    config.supervise.speculate = false;  // twins just queue on a tiny cluster
+    const auto sup = wm::Campaign(config).run();
+
+    SupSample s;
+    s.hang_rate_per_h = rate;
+    s.unsup_cg_total_us = unsup.cg_total_us;
+    s.sup_cg_total_us = sup.cg_total_us;
+    s.unsup_goodput =
+        unsup.node_hours > 0 ? unsup.cg_total_us / unsup.node_hours : 0.0;
+    s.sup_goodput = sup.node_hours > 0 ? sup.cg_total_us / sup.node_hours : 0.0;
+    s.hangs_detected = sup.supervision.hangs_detected;
+    s.quarantined = sup.supervision.quarantined;
+    s.unsup_cg_sims = unsup.cg_lengths_us.size();
+    s.sup_cg_sims = sup.cg_lengths_us.size();
+    sup_samples.push_back(s);
+
+    const double recovered = s.unsup_cg_total_us > 0
+                                 ? s.sup_cg_total_us / s.unsup_cg_total_us
+                                 : 1.0;
+    std::printf("%8.1f %12.3f %12.3f %9.2fx %8llu %8llu\n", rate,
+                s.unsup_cg_total_us, s.sup_cg_total_us, recovered,
+                static_cast<unsigned long long>(s.hangs_detected),
+                static_cast<unsigned long long>(s.quarantined));
+  }
+
+  // One combined sample on top of the pure-hang curve: stragglers and poison
+  // payloads exercise the speculation and quarantine arms of the plane.
+  auto combined_cfg = supervised_config(full);
+  combined_cfg.faults.job_hang_rate_per_h = 4.0;
+  combined_cfg.faults.straggler_rate_per_h = 2.0;
+  combined_cfg.faults.straggler_factor = 4.0;
+  combined_cfg.poison_payload_modulus = 7;
+  const auto combined_unsup = wm::Campaign(combined_cfg).run();
+  combined_cfg.supervise.enabled = true;
+  combined_cfg.supervise.speculate = false;
+  const auto combined_sup = wm::Campaign(combined_cfg).run();
+  std::printf(
+      "\ncombined (hang 4/h + straggler 2/h + poison 1-in-7): "
+      "cg %.3f -> %.3f us, caught=%llu quarantined=%llu "
+      "first_quarantine=%.0f s\n",
+      combined_unsup.cg_total_us, combined_sup.cg_total_us,
+      static_cast<unsigned long long>(combined_sup.supervision.hangs_detected),
+      static_cast<unsigned long long>(combined_sup.supervision.quarantined),
+      combined_sup.supervision.first_quarantine_s);
+
+  const std::string sup_path = "bench_outputs/resilience_supervised.json";
+  out = std::fopen(sup_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", sup_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"supervision_sweep\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n  \"samples\": [\n",
+               full ? "full" : "small");
+  for (std::size_t i = 0; i < sup_samples.size(); ++i) {
+    const auto& s = sup_samples[i];
+    std::fprintf(
+        out,
+        "    {\"hang_rate_per_h\": %.3f, \"unsupervised_cg_total_us\": %.3f, "
+        "\"supervised_cg_total_us\": %.3f, "
+        "\"unsupervised_goodput_us_per_node_h\": %.6f, "
+        "\"supervised_goodput_us_per_node_h\": %.6f, "
+        "\"hangs_detected\": %llu, \"quarantined\": %llu, "
+        "\"unsupervised_cg_sims\": %llu, \"supervised_cg_sims\": %llu}%s\n",
+        s.hang_rate_per_h, s.unsup_cg_total_us, s.sup_cg_total_us,
+        s.unsup_goodput, s.sup_goodput,
+        static_cast<unsigned long long>(s.hangs_detected),
+        static_cast<unsigned long long>(s.quarantined),
+        static_cast<unsigned long long>(s.unsup_cg_sims),
+        static_cast<unsigned long long>(s.sup_cg_sims),
+        i + 1 < sup_samples.size() ? "," : ",");
+  }
+  std::fprintf(
+      out,
+      "    {\"combined\": true, \"hang_rate_per_h\": 4.0, "
+      "\"straggler_rate_per_h\": 2.0, \"poison_payload_modulus\": 7, "
+      "\"unsupervised_cg_total_us\": %.3f, \"supervised_cg_total_us\": %.3f, "
+      "\"hangs_detected\": %llu, \"quarantined\": %llu, "
+      "\"first_quarantine_s\": %.1f}\n",
+      combined_unsup.cg_total_us, combined_sup.cg_total_us,
+      static_cast<unsigned long long>(combined_sup.supervision.hangs_detected),
+      static_cast<unsigned long long>(combined_sup.supervision.quarantined),
+      combined_sup.supervision.first_quarantine_s);
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", sup_path.c_str());
   return 0;
 }

@@ -48,6 +48,49 @@ run_bench bench_sched_matcher sched_matcher.json --small
 run_bench bench_table1_campaign table1.json --small
 run_bench bench_resilience resilience.json
 
+# Supervision contract: the same bench also sweeps the watchdog plane. The
+# supervised run must never lose goodput to an idle supervisor (rate 0 is
+# bit-identical), must recover goodput at at least one hang rate, and the
+# combined hang+straggler+poison sample must show hangs caught and poison
+# quarantined.
+check_supervision() {
+  local path="bench_outputs/resilience_supervised.json"
+  if [[ ! -s "$path" ]]; then
+    echo "bench_smoke: bench_resilience did not write $path" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc.get("samples")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'samples' must be a non-empty list")
+sweep = [r for r in rows if not r.get("combined")]
+combined = [r for r in rows if r.get("combined")]
+idle = [r for r in sweep if r["hang_rate_per_h"] == 0.0]
+if not idle or idle[0]["supervised_cg_total_us"] != idle[0]["unsupervised_cg_total_us"]:
+    sys.exit(f"{sys.argv[1]}: idle supervisor must not change goodput")
+if not any(r["supervised_cg_total_us"] > r["unsupervised_cg_total_us"]
+           for r in sweep if r["hang_rate_per_h"] > 0.0):
+    sys.exit(f"{sys.argv[1]}: watchdog never recovered goodput")
+if any(r["supervised_cg_total_us"] < 0.8 * r["unsupervised_cg_total_us"]
+       for r in sweep):
+    sys.exit(f"{sys.argv[1]}: supervision cost exceeds 20% somewhere")
+if not combined:
+    sys.exit(f"{sys.argv[1]}: missing combined hang+straggler+poison sample")
+c = combined[0]
+if c.get("hangs_detected", 0) <= 0 or c.get("quarantined", 0) <= 0:
+    sys.exit(f"{sys.argv[1]}: combined sample caught no hangs or poison: {c}")
+EOF
+  else
+    grep -q '"hangs_detected"' "$path" && grep -q '"combined"' "$path"
+  fi
+  echo "    $path supervision contract OK"
+}
+check_supervision
+
 # Telemetry contract: fig5 writes the campaign telemetry series plus a Chrome
 # trace; fig7 writes the KV telemetry series. Validate both shapes beyond the
 # plain "bench" key — snapshots/final structure and trace-event required keys.

@@ -58,4 +58,11 @@ cmake --build build-tsan -j "$jobs" --target mummi_tests
 ./build-tsan/tests/mummi_tests \
   --gtest_filter='*KvCluster*:*KvBatch*:*SharedLock*:*ResilientKv*:*Aa2Cg*:*Cg2Cont*'
 
+echo "=== tier 1: TSan build, supervision plane tests ==="
+# The supervision plane (watchdog ticks, quarantine ledger, node health,
+# campaign-level supervision) mutates scheduler state from timer callbacks;
+# reuse the TSan build to prove those paths are race-free too.
+./build-tsan/tests/mummi_tests \
+  --gtest_filter='*Watchdog*:*Specul*:*Quarantine*:*NodeHealth*:*Supervis*'
+
 echo "=== tier 1: PASS ==="

@@ -7,6 +7,7 @@
 namespace mummi::fault {
 
 void FaultInjector::arm(event::SimEngine& engine) {
+  plan_.validate();
   for (const FaultEvent& ev : plan_.events()) {
     engine.schedule_after(ev.time, [this, ev, &engine] {
       apply(ev, engine.now());
@@ -61,6 +62,19 @@ void FaultInjector::apply(const FaultEvent& ev, double now) {
       break;
     case FaultKind::kLatencySpike:
       spikes_.push_back({now + ev.duration, ev.magnitude});
+      break;
+    case FaultKind::kJobHang:
+      if (executor_) {
+        executor_->inject_hangs(ev.count);
+        util::log_debug("fault: next ", ev.count, " launches will hang");
+      }
+      break;
+    case FaultKind::kStragglerJob:
+      if (executor_) {
+        executor_->inject_stragglers(ev.count, ev.magnitude);
+        util::log_debug("fault: next ", ev.count, " launches straggle x",
+                        ev.magnitude);
+      }
       break;
   }
   fired_.push_back(ev);

@@ -21,6 +21,7 @@
 #include "datastore/kv_cluster.hpp"
 #include "event/sim_engine.hpp"
 #include "fault/fault_plan.hpp"
+#include "sched/executor.hpp"
 #include "sched/scheduler.hpp"
 
 namespace mummi::fault {
@@ -35,9 +36,12 @@ class FaultInjector {
   void bind_scheduler(sched::Scheduler* scheduler) { scheduler_ = scheduler; }
   void bind_kv(ds::KvCluster* kv) { kv_ = kv; }
   void bind_fs(ds::FsStore* fs) { fs_ = fs; }
+  /// Hang/straggler events need the simulated executor (they manipulate
+  /// launches, not placed resources).
+  void bind_executor(sched::SimExecutor* executor) { executor_ = executor; }
 
   /// Schedules every event at plan-time offset from engine.now(). The
-  /// injector must outlive the engine run.
+  /// injector must outlive the engine run. Validates the plan first.
   void arm(event::SimEngine& engine);
 
   /// Applies one event immediately at virtual time `now`.
@@ -61,6 +65,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   sched::Scheduler* scheduler_ = nullptr;
+  sched::SimExecutor* executor_ = nullptr;
   ds::KvCluster* kv_ = nullptr;
   ds::FsStore* fs_ = nullptr;
   std::vector<FaultEvent> fired_;

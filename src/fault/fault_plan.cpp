@@ -17,6 +17,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStoreIoError: return "store_io_error";
     case FaultKind::kKvIoError:    return "kv_io_error";
     case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kJobHang:      return "job_hang";
+    case FaultKind::kStragglerJob: return "straggler_job";
   }
   return "?";
 }
@@ -101,6 +103,64 @@ FaultPlan& FaultPlan::latency_spike(double t, double factor,
   return push(ev);
 }
 
+FaultPlan& FaultPlan::job_hang(double t, int burst) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kJobHang;
+  ev.count = burst;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::straggler(double t, int burst, double factor) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.kind = FaultKind::kStragglerJob;
+  ev.count = burst;
+  ev.magnitude = factor;
+  return push(ev);
+}
+
+void FaultSpec::validate() const {
+  auto check_rate = [](double r, const char* name) {
+    MUMMI_CHECK_MSG(r >= 0.0, std::string("negative fault rate: ") + name);
+  };
+  check_rate(node_crash_rate_per_h, "node_crash_rate_per_h");
+  check_rate(shard_outage_rate_per_h, "shard_outage_rate_per_h");
+  check_rate(store_error_rate_per_h, "store_error_rate_per_h");
+  check_rate(kv_error_rate_per_h, "kv_error_rate_per_h");
+  check_rate(latency_spike_rate_per_h, "latency_spike_rate_per_h");
+  check_rate(job_hang_rate_per_h, "job_hang_rate_per_h");
+  check_rate(straggler_rate_per_h, "straggler_rate_per_h");
+  MUMMI_CHECK_MSG(node_down_mean_s >= 0.0, "negative node_down_mean_s");
+  MUMMI_CHECK_MSG(shard_down_mean_s >= 0.0, "negative shard_down_mean_s");
+  MUMMI_CHECK_MSG(latency_spike_mean_s >= 0.0, "negative latency_spike_mean_s");
+  MUMMI_CHECK_MSG(store_error_burst >= 0, "negative store_error_burst");
+  MUMMI_CHECK_MSG(kv_error_burst >= 0, "negative kv_error_burst");
+  MUMMI_CHECK_MSG(hang_burst >= 0, "negative hang_burst");
+  MUMMI_CHECK_MSG(straggler_burst >= 0, "negative straggler_burst");
+  MUMMI_CHECK_MSG(latency_factor >= 1.0, "latency_factor must be >= 1");
+  MUMMI_CHECK_MSG(straggler_factor >= 1.0, "straggler_factor must be >= 1");
+}
+
+void FaultPlan::validate() const {
+  double prev = 0.0;
+  for (const FaultEvent& ev : events_) {
+    MUMMI_CHECK_MSG(ev.time >= 0.0,
+                    "fault event with negative time: " + ev.describe());
+    MUMMI_CHECK_MSG(ev.time >= prev,
+                    "fault events not time-sorted at: " + ev.describe());
+    prev = ev.time;
+    MUMMI_CHECK_MSG(ev.duration >= 0.0,
+                    "fault event with negative duration: " + ev.describe());
+    MUMMI_CHECK_MSG(ev.count >= 0,
+                    "fault event with negative count: " + ev.describe());
+    if (ev.kind == FaultKind::kLatencySpike ||
+        ev.kind == FaultKind::kStragglerJob)
+      MUMMI_CHECK_MSG(ev.magnitude >= 1.0,
+                      "amplifying fault with magnitude < 1: " + ev.describe());
+  }
+}
+
 FaultPlan FaultPlan::generate(const FaultSpec& spec, double horizon_s,
                               int n_nodes, int n_shards) {
   MUMMI_CHECK_MSG(horizon_s > 0.0, "fault horizon must be positive");
@@ -156,6 +216,15 @@ FaultPlan FaultPlan::generate(const FaultSpec& spec, double horizon_s,
              plan.latency_spike(
                  t, spec.latency_factor,
                  stream.exponential(1.0 / spec.latency_spike_mean_s));
+           });
+  // The silent-failure classes split AFTER the originals: enabling hangs or
+  // stragglers must not reshuffle the crash/outage/spike schedules a seed
+  // already produced (same independence the streams test pins down).
+  arrivals(spec.job_hang_rate_per_h, rng.split(),
+           [&](double t, util::Rng&) { plan.job_hang(t, spec.hang_burst); });
+  arrivals(spec.straggler_rate_per_h, rng.split(),
+           [&](double t, util::Rng&) {
+             plan.straggler(t, spec.straggler_burst, spec.straggler_factor);
            });
   return plan;
 }

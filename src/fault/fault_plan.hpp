@@ -25,6 +25,8 @@ enum class FaultKind : std::uint8_t {
   kStoreIoError,  // next `count` FsStore operations fail transiently
   kKvIoError,     // next `count` ops on KV shard `target` fail transiently
   kLatencySpike,  // job durations x `magnitude` for `duration` seconds
+  kJobHang,       // next `count` launches never invoke their completion
+  kStragglerJob,  // next `count` launches run `magnitude` x their duration
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -60,13 +62,25 @@ struct FaultSpec {
   double latency_factor = 3.0;
   double latency_spike_mean_s = 300.0;
 
+  double job_hang_rate_per_h = 0.0;    // silent hangs (Sec. 4.4)
+  int hang_burst = 1;                  // launches hung per event
+
+  double straggler_rate_per_h = 0.0;
+  int straggler_burst = 1;             // launches slowed per event
+  double straggler_factor = 4.0;       // duration multiplier
+
   std::uint64_t seed = 42;
 
   [[nodiscard]] bool empty() const {
     return node_crash_rate_per_h <= 0 && shard_outage_rate_per_h <= 0 &&
            store_error_rate_per_h <= 0 && kv_error_rate_per_h <= 0 &&
-           latency_spike_rate_per_h <= 0;
+           latency_spike_rate_per_h <= 0 && job_hang_rate_per_h <= 0 &&
+           straggler_rate_per_h <= 0;
   }
+
+  /// Throws util::Error on nonsense configuration: negative rates, durations,
+  /// bursts, or amplification factors below 1.
+  void validate() const;
 };
 
 class FaultPlan {
@@ -80,6 +94,12 @@ class FaultPlan {
   FaultPlan& store_errors(double t, int burst);
   FaultPlan& kv_errors(double t, int shard, int burst);
   FaultPlan& latency_spike(double t, double factor, double duration_s);
+  FaultPlan& job_hang(double t, int burst = 1);
+  FaultPlan& straggler(double t, int burst = 1, double factor = 4.0);
+
+  /// Escape hatch for custom events (tests); same sort-on-insert as the
+  /// named builders.
+  FaultPlan& add(FaultEvent ev) { return push(ev); }
 
   /// Draws a plan over [0, horizon_s) from Poisson arrivals per fault class.
   /// Deterministic for a given (spec, horizon, n_nodes, n_shards).
@@ -93,6 +113,12 @@ class FaultPlan {
   }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Throws util::Error if any event carries a negative time/duration/count,
+  /// a magnitude below 1 where it amplifies, or if the list is not
+  /// time-sorted (push() maintains sortedness; validate() guards plans built
+  /// or mutated by other means).
+  void validate() const;
 
  private:
   FaultPlan& push(FaultEvent ev);

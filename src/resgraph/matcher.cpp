@@ -45,10 +45,31 @@ bool node_viable(const ResourceGraph& graph, int node, const Slot& slot) {
   return !graph.drained(node) && graph.free_cores(node) >= slot.cores &&
          graph.free_gpus(node) >= slot.gpus;
 }
+
+/// Pinned requests bypass the policy scan entirely: only pin_node is
+/// considered, and its drain flag is ignored — the whole point of a pinned
+/// canary is to probe a node that is currently drained.
+std::optional<Allocation> match_pinned(const ResourceGraph& graph,
+                                       const Request& request,
+                                       std::uint64_t& visits) {
+  const int node = request.pin_node;
+  ++visits;  // node vertex
+  if (node < 0 || node >= graph.spec().nodes) return std::nullopt;
+  if (graph.free_cores(node) < request.slot.cores ||
+      graph.free_gpus(node) < request.slot.gpus)
+    return std::nullopt;
+  Allocation result;
+  int remaining = request.nslots;
+  const int cap = request.one_slot_per_node ? 1 : remaining;
+  remaining -= carve_node(graph, node, request.slot, cap, result.slots, visits);
+  if (remaining > 0) return std::nullopt;
+  return result;
+}
 }  // namespace
 
 std::optional<Allocation> ExhaustiveMatcher::match(const ResourceGraph& graph,
                                                    const Request& request) {
+  if (request.pin_node >= 0) return match_pinned(graph, request, visits_);
   const auto& spec = graph.spec();
   // The pre-fix policy walks the whole graph scoring every vertex before it
   // selects ("R essentially traverses the resource graph in its entirety for
@@ -88,6 +109,7 @@ std::optional<Allocation> ExhaustiveMatcher::match(const ResourceGraph& graph,
 
 std::optional<Allocation> FirstMatchMatcher::match(const ResourceGraph& graph,
                                                    const Request& request) {
+  if (request.pin_node >= 0) return match_pinned(graph, request, visits_);
   const auto& spec = graph.spec();
   Allocation result;
   int remaining = request.nslots;

@@ -27,6 +27,11 @@ struct Request {
   Slot slot;
   int nslots = 1;
   bool one_slot_per_node = false;
+  /// >= 0: only that node may satisfy the request — how a supervision canary
+  /// probes one specific drained node. Drained-node skipping still applies;
+  /// callers undrain-or-pin accordingly (matchers treat a pinned drained
+  /// node as matchable so a canary can probe it in place).
+  int pin_node = -1;
 };
 
 class Matcher {

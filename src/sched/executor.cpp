@@ -48,9 +48,24 @@ SimExecutor::SimExecutor(event::SimEngine& engine, util::Rng rng,
     : engine_(engine), rng_(rng), failure_prob_(failure_prob) {}
 
 void SimExecutor::launch(const Job& job, CompletionFn done) {
-  const double duration = model_ ? model_(job) : job.spec.est_duration;
+  if (pending_hangs_ > 0) {
+    // A hung payload never invokes `done` — the slot stays occupied until a
+    // watchdog cancels the job. No duration/failure draws: arming hangs must
+    // not shift the RNG stream of the jobs that run normally.
+    --pending_hangs_;
+    ++hangs_injected_;
+    hung_.insert(job.id);
+    return;
+  }
+  double duration = model_ ? model_(job) : job.spec.est_duration;
   MUMMI_CHECK_MSG(duration >= 0.0, "negative job duration");
-  const bool ok = rng_.uniform() >= failure_prob_;
+  if (pending_stragglers_ > 0) {
+    --pending_stragglers_;
+    ++stragglers_injected_;
+    duration *= straggler_factor_;
+  }
+  bool ok = rng_.uniform() >= failure_prob_;
+  if (poison_ && poison_(job)) ok = false;
   engine_.schedule_after(duration,
                          [done = std::move(done), ok] { done(ok); });
 }

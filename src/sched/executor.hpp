@@ -9,9 +9,11 @@
 //   - InlineExecutor: synchronous execution (unit tests).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -73,6 +75,19 @@ class ThreadExecutor final : public Executor {
 /// Completes jobs in virtual time. Duration comes from the job's
 /// est_duration unless a DurationModel overrides it; a failure probability
 /// models flaky hardware/software for resilience experiments.
+///
+/// Silent failure modes for supervision experiments (paper Sec. 4.4 — jobs
+/// that "hang without exiting" or straggle far past their expectation):
+///   - inject_hangs(n): the next n launches swallow their completion — `done`
+///     is never invoked and the job occupies its slot until something above
+///     (the watchdog) cancels it;
+///   - inject_stragglers(n, f): the next n launches take f times their
+///     modeled duration;
+///   - set_poison(pred): jobs matching the predicate always fail, regardless
+///     of failure_prob — deterministic poison work for quarantine tests.
+/// Injections consume no RNG draws beyond the normal failure draw (hangs
+/// skip even that), so arming them does not perturb the failure stream of
+/// unaffected jobs.
 class SimExecutor final : public Executor {
  public:
   /// Returns the duration (seconds) a job should take.
@@ -84,6 +99,27 @@ class SimExecutor final : public Executor {
   void set_duration_model(DurationModel model) { model_ = std::move(model); }
   void set_failure_prob(double p) { failure_prob_ = p; }
 
+  void inject_hangs(int n) { pending_hangs_ += n; }
+  void inject_stragglers(int n, double factor) {
+    pending_stragglers_ += n;
+    straggler_factor_ = factor;
+  }
+  void set_poison(std::function<bool(const Job&)> pred) {
+    poison_ = std::move(pred);
+  }
+
+  /// True while `id` was launched-and-hung and never cancelled/completed.
+  /// Progress accounting uses this: a hung sim produced nothing.
+  [[nodiscard]] bool is_hung(JobId id) const { return hung_.count(id) > 0; }
+  [[nodiscard]] const std::set<JobId>& hung_jobs() const { return hung_; }
+  /// Forgets a hung job (after the watchdog cancels it).
+  void clear_hung(JobId id) { hung_.erase(id); }
+
+  [[nodiscard]] std::uint64_t hangs_injected() const { return hangs_injected_; }
+  [[nodiscard]] std::uint64_t stragglers_injected() const {
+    return stragglers_injected_;
+  }
+
   void launch(const Job& job, CompletionFn done) override;
 
  private:
@@ -91,6 +127,13 @@ class SimExecutor final : public Executor {
   util::Rng rng_;
   double failure_prob_;
   DurationModel model_;
+  int pending_hangs_ = 0;
+  int pending_stragglers_ = 0;
+  double straggler_factor_ = 4.0;
+  std::function<bool(const Job&)> poison_;
+  std::set<JobId> hung_;
+  std::uint64_t hangs_injected_ = 0;
+  std::uint64_t stragglers_injected_ = 0;
 };
 
 }  // namespace mummi::sched

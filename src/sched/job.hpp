@@ -66,6 +66,10 @@ struct Job {
   double end_time = 0.0;
   Allocation alloc;
   int restarts = 0;  // times a tracker resubmitted this logical job
+  /// True when the job failed because its node died (Scheduler::fail_node),
+  /// not because the payload itself misbehaved. Retry policies use this to
+  /// attribute the death: node-caused kills do not consume restart budget.
+  bool killed_by_node = false;
 };
 
 }  // namespace mummi::sched

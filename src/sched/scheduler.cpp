@@ -163,7 +163,10 @@ std::vector<JobId> Scheduler::fail_node(int node) {
     }
   }
   std::sort(killed.begin(), killed.end());
-  for (const JobId id : killed) complete(id, /*success=*/false);
+  for (const JobId id : killed) {
+    job_mut(id).killed_by_node = true;  // before callbacks: attribution
+    complete(id, /*success=*/false);
+  }
   return killed;
 }
 

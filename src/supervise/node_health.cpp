@@ -1,0 +1,87 @@
+#include "supervise/node_health.hpp"
+
+#include <algorithm>
+
+namespace mummi::supervise {
+
+const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kHealthy: return "healthy";
+    case NodeState::kDrained: return "drained";
+    case NodeState::kProbing: return "probing";
+  }
+  return "?";
+}
+
+NodeHealthTracker::NodeHealthTracker(int nodes, NodeHealthConfig cfg) {
+  reset(nodes, cfg);
+}
+
+void NodeHealthTracker::reset(int nodes, NodeHealthConfig cfg) {
+  cfg_ = cfg;
+  slots_.assign(static_cast<std::size_t>(nodes < 0 ? 0 : nodes), Slot{});
+}
+
+void NodeHealthTracker::prune(Slot& s, double now) const {
+  auto keep = std::lower_bound(s.recent_failures.begin(),
+                               s.recent_failures.end(), now - cfg_.window_s);
+  s.recent_failures.erase(s.recent_failures.begin(), keep);
+}
+
+bool NodeHealthTracker::record_failure(int node, double now) {
+  if (node < 0 || node >= nodes()) return false;
+  Slot& s = slots_[static_cast<std::size_t>(node)];
+  if (s.state != NodeState::kHealthy) return false;
+  prune(s, now);
+  s.recent_failures.push_back(now);
+  return static_cast<int>(s.recent_failures.size()) >= cfg_.failure_threshold;
+}
+
+void NodeHealthTracker::mark_drained(int node, double now) {
+  if (node < 0 || node >= nodes()) return;
+  Slot& s = slots_[static_cast<std::size_t>(node)];
+  s.state = NodeState::kDrained;
+  s.drained_at = now;
+  if (s.probation_s <= 0.0) s.probation_s = cfg_.probation_s;
+  s.recent_failures.clear();
+}
+
+std::vector<int> NodeHealthTracker::due_for_probe(double now) const {
+  std::vector<int> out;
+  for (int i = 0; i < nodes(); ++i) {
+    const Slot& s = slots_[static_cast<std::size_t>(i)];
+    if (s.state == NodeState::kDrained && now >= s.drained_at + s.probation_s)
+      out.push_back(i);
+  }
+  return out;
+}
+
+void NodeHealthTracker::mark_probing(int node) {
+  if (node < 0 || node >= nodes()) return;
+  slots_[static_cast<std::size_t>(node)].state = NodeState::kProbing;
+}
+
+void NodeHealthTracker::canary_result(int node, bool ok, double now) {
+  if (node < 0 || node >= nodes()) return;
+  Slot& s = slots_[static_cast<std::size_t>(node)];
+  if (ok) {
+    s = Slot{};  // fresh score: healthy, no history, base probation
+    return;
+  }
+  s.state = NodeState::kDrained;
+  s.drained_at = now;
+  s.probation_s =
+      std::min(s.probation_s * cfg_.backoff_factor, cfg_.max_probation_s);
+}
+
+void NodeHealthTracker::node_crashed(int node) {
+  if (node < 0 || node >= nodes()) return;
+  slots_[static_cast<std::size_t>(node)] = Slot{};
+}
+
+NodeState NodeHealthTracker::state(int node) const {
+  if (node < 0 || node >= nodes()) return NodeState::kHealthy;
+  return slots_[static_cast<std::size_t>(node)].state;
+}
+
+}  // namespace mummi::supervise

@@ -1,0 +1,82 @@
+// Node health scoring and probation (paper Sec. 4.4).
+//
+// The paper reports nodes that fail repeatedly — bad GPUs, sick burst
+// buffers — and the operational fix: pull the node out of rotation, probe it,
+// and only return it once a probe succeeds. NodeHealthTracker mirrors that as
+// a per-node state machine over virtual time:
+//
+//   kHealthy --(>= threshold failures within window)--> kDrained
+//   kDrained --(probation_s elapsed)-->                 ready for a canary
+//   kProbing --(canary succeeds)-->                     kHealthy (undrained)
+//   kProbing --(canary fails)-->                        kDrained, backoff x2
+//
+// The tracker only *decides*; draining, undraining and canary submission are
+// carried out by the Supervisor so that every action lands in the decision
+// log. All state is plain counters + times: deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mummi::supervise {
+
+enum class NodeState : std::uint8_t { kHealthy, kDrained, kProbing };
+
+[[nodiscard]] const char* to_string(NodeState s);
+
+struct NodeHealthConfig {
+  int failure_threshold = 3;    // failures within `window_s` to drain
+  double window_s = 3600.0;     // sliding failure window
+  double probation_s = 600.0;   // drain time before the first canary
+  double backoff_factor = 2.0;  // probation multiplier per failed canary
+  double max_probation_s = 4 * 3600.0;
+};
+
+class NodeHealthTracker {
+ public:
+  NodeHealthTracker() = default;
+  NodeHealthTracker(int nodes, NodeHealthConfig cfg);
+
+  void reset(int nodes, NodeHealthConfig cfg);
+
+  /// Records a job failure attributed to `node` at virtual time `now`.
+  /// Returns true when this failure trips the threshold and the node should
+  /// be drained (the caller transitions it via mark_drained()).
+  bool record_failure(int node, double now);
+
+  /// Caller drained the node; starts the probation timer.
+  void mark_drained(int node, double now);
+
+  /// Nodes whose probation expired by `now` (ascending) — each should get a
+  /// canary; caller then calls mark_probing().
+  [[nodiscard]] std::vector<int> due_for_probe(double now) const;
+  void mark_probing(int node);
+
+  /// Canary verdict. Success returns the node to kHealthy (caller undrains);
+  /// failure re-drains with doubled probation.
+  void canary_result(int node, bool ok, double now);
+
+  /// External node death (e.g. injected crash) — forget state so a recovered
+  /// node starts with a clean score.
+  void node_crashed(int node);
+
+  [[nodiscard]] NodeState state(int node) const;
+  [[nodiscard]] int nodes() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] const NodeHealthConfig& config() const { return cfg_; }
+
+ private:
+  struct Slot {
+    NodeState state = NodeState::kHealthy;
+    std::vector<double> recent_failures;  // times within window, ascending
+    double drained_at = 0.0;
+    double probation_s = 0.0;  // current (possibly backed-off) probation
+  };
+
+  void prune(Slot& s, double now) const;
+
+  NodeHealthConfig cfg_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mummi::supervise

@@ -1,0 +1,379 @@
+#include "supervise/supervisor.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace mummi::supervise {
+
+void SupervisionStats::merge(const SupervisionStats& o) {
+  hangs_detected += o.hangs_detected;
+  speculations += o.speculations;
+  spec_wins += o.spec_wins;
+  spec_losses += o.spec_losses;
+  quarantined += o.quarantined;
+  node_probations += o.node_probations;
+  canaries_ok += o.canaries_ok;
+  canaries_failed += o.canaries_failed;
+  shed_transitions += o.shed_transitions;
+  degraded_time_s += o.degraded_time_s;
+  if (o.first_quarantine_s >= 0.0 &&
+      (first_quarantine_s < 0.0 || o.first_quarantine_s < first_quarantine_s))
+    first_quarantine_s = o.first_quarantine_s;
+}
+
+Supervisor::Supervisor(sched::Scheduler& scheduler, const util::Clock& clock,
+                       WorkloadControl& control, SuperviseConfig cfg)
+    : scheduler_(scheduler),
+      clock_(clock),
+      control_(control),
+      cfg_(cfg),
+      health_(scheduler.graph().n_nodes(), cfg.node_health) {
+  tm_.hangs = &obs::counter("supervise.hangs_detected");
+  tm_.speculations = &obs::counter("supervise.speculations");
+  tm_.spec_wins = &obs::counter("supervise.spec_wins");
+  tm_.spec_losses = &obs::counter("supervise.spec_losses");
+  tm_.quarantined = &obs::counter("supervise.quarantined");
+  tm_.probations = &obs::counter("supervise.node_probations");
+  tm_.canaries_ok = &obs::counter("supervise.canaries_ok");
+  tm_.canaries_failed = &obs::counter("supervise.canaries_failed");
+  tm_.shed_transitions = &obs::counter("supervise.shed_transitions");
+  tm_.shed_level = &obs::gauge("supervise.shed_level");
+  tm_.degraded_time_s = &obs::gauge("supervise.degraded_time_s");
+
+  scheduler_.on_start([this](const sched::Job& job) { on_start(job); });
+  scheduler_.on_finish([this](const sched::Job& job) { on_finish(job); });
+}
+
+void Supervisor::set_timing(const std::string& type, JobTiming timing) {
+  timings_[type] = timing;
+}
+
+void Supervisor::set_duration_stretch(std::function<double(double)> fn) {
+  stretch_fn_ = std::move(fn);
+}
+
+double Supervisor::stretch(double now) const {
+  return stretch_fn_ ? stretch_fn_(now) : 1.0;
+}
+
+double Supervisor::soft_deadline(const Watch& w, double now) const {
+  const auto& t = timings_.at(w.type);
+  const double base = std::max(t.mean_s, w.est_duration);
+  return (cfg_.soft_factor * base + cfg_.soft_sigmas * t.sigma_s) *
+         stretch(now);
+}
+
+double Supervisor::hard_deadline(const Watch& w, double now) const {
+  const auto& t = timings_.at(w.type);
+  const double base = std::max(t.mean_s, w.est_duration);
+  return (cfg_.hard_factor * base + cfg_.hard_sigmas * t.sigma_s) *
+         stretch(now);
+}
+
+void Supervisor::log(double now, const char* fmt, ...) {
+  char detail[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(detail, sizeof detail, fmt, args);
+  va_end(args);
+  char line[320];
+  std::snprintf(line, sizeof line, "t=%.3f %s", now, detail);
+  decisions_.emplace_back(line);
+}
+
+std::string Supervisor::log_text() const {
+  std::string out;
+  for (const auto& line : decisions_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void Supervisor::on_start(const sched::Job& job) {
+  Watch w;
+  w.type = job.spec.type;
+  w.payload = job.spec.payload;
+  w.start_time = job.start_time;
+  w.est_duration = job.spec.est_duration;
+  if (!job.alloc.slots.empty()) w.node = job.alloc.slots.front().node;
+  w.watched = timings_.count(w.type) != 0;
+
+  if (auto it = job.spec.attrs.find("canary_node");
+      it != job.spec.attrs.end()) {
+    w.canary_node = std::atoi(it->second.c_str());
+  }
+  if (auto it = job.spec.attrs.find("twin_of"); it != job.spec.attrs.end()) {
+    w.speculative = true;
+    w.twin_of = static_cast<sched::JobId>(std::strtoull(
+        it->second.c_str(), nullptr, 10));
+  }
+
+  const sched::JobId id = job.id;
+  if (w.speculative) {
+    twin_requested_.erase(w.twin_of);
+    if (orphaned_originals_.erase(w.twin_of) > 0) {
+      // The original finished while this twin sat in the queue: cancel it
+      // before it burns a slot. The watch is dropped, not inserted.
+      log(clock_.now(), "spec_orphan_cancel twin=%llu of=%llu",
+          static_cast<unsigned long long>(id),
+          static_cast<unsigned long long>(w.twin_of));
+      scheduler_.cancel(id);
+      return;
+    }
+    twin_by_original_[w.twin_of] = id;
+    original_by_twin_[id] = w.twin_of;
+  }
+  watches_[id] = std::move(w);
+}
+
+void Supervisor::strike(const Watch& watch, StrikeKind kind, int node) {
+  const double now = clock_.now();
+  if (control_.quarantine().strike(watch.type, watch.payload, kind, now,
+                                   node)) {
+    ++stats_.quarantined;
+    if (stats_.first_quarantine_s < 0.0) stats_.first_quarantine_s = now;
+    tm_.quarantined->inc();
+    log(now, "quarantine %s:%llu after %s", watch.type.c_str(),
+        static_cast<unsigned long long>(watch.payload), to_string(kind));
+  }
+}
+
+void Supervisor::handle_canary_finish(const Watch& watch,
+                                      const sched::Job& job) {
+  const double now = clock_.now();
+  const bool ok = job.state == sched::JobState::kCompleted;
+  health_.canary_result(watch.canary_node, ok, now);
+  if (ok) {
+    ++stats_.canaries_ok;
+    tm_.canaries_ok->inc();
+    scheduler_.undrain_node(watch.canary_node);
+    log(now, "canary_ok node=%d undrained", watch.canary_node);
+  } else if (job.state == sched::JobState::kFailed) {
+    ++stats_.canaries_failed;
+    tm_.canaries_failed->inc();
+    log(now, "canary_failed node=%d backoff", watch.canary_node);
+  }
+  // kCancelled (teardown) leaves the node drained without a verdict.
+}
+
+void Supervisor::resolve_twin_finish(sched::JobId id, Watch& watch,
+                                     const sched::Job& job) {
+  const sched::JobId orig = watch.twin_of;
+  original_by_twin_.erase(id);
+  twin_by_original_.erase(orig);
+  if (job.state == sched::JobState::kCompleted) {
+    // Twin won; cancel the original if it is still in flight. The workload
+    // already processed this completion (its callbacks run first).
+    ++stats_.spec_wins;
+    tm_.spec_wins->inc();
+    log(clock_.now(), "spec_win twin=%llu of=%llu",
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(orig));
+    scheduler_.cancel(orig);
+  }
+  // kFailed: the original keeps running, nothing to do (the strike against
+  // the shared payload was already recorded by the caller). kCancelled: we
+  // cancelled it as the loser or at teardown.
+}
+
+void Supervisor::resolve_original_finish(sched::JobId id, Watch& watch,
+                                         const sched::Job& job) {
+  const bool requested_unstarted = twin_requested_.erase(id) > 0;
+  auto it = twin_by_original_.find(id);
+  const sched::JobId twin =
+      it != twin_by_original_.end() ? it->second : sched::kInvalidJob;
+
+  if (job.state == sched::JobState::kFailed) {
+    // Keep a live twin as the payload's retry; the workload's resubmit veto
+    // (has_live_twin) suppresses a duplicate resubmission.
+    return;
+  }
+  // kCompleted or kCancelled: any twin is now redundant.
+  if (requested_unstarted) {
+    orphaned_originals_.insert(id);
+    if (job.state == sched::JobState::kCompleted) {
+      ++stats_.spec_losses;
+      tm_.spec_losses->inc();
+    }
+  }
+  if (twin != sched::kInvalidJob) {
+    twin_by_original_.erase(id);
+    original_by_twin_.erase(twin);
+    if (job.state == sched::JobState::kCompleted) {
+      ++stats_.spec_losses;
+      tm_.spec_losses->inc();
+      log(clock_.now(), "spec_loss twin=%llu of=%llu",
+          static_cast<unsigned long long>(twin),
+          static_cast<unsigned long long>(id));
+    }
+    scheduler_.cancel(twin);
+  }
+  (void)watch;
+}
+
+void Supervisor::on_finish(const sched::Job& job) {
+  auto it = watches_.find(job.id);
+  if (it == watches_.end()) return;
+  Watch watch = std::move(it->second);
+  watches_.erase(it);
+
+  if (watch.canary_node >= 0) {
+    handle_canary_finish(watch, job);
+    return;
+  }
+
+  const double now = clock_.now();
+  if (job.state == sched::JobState::kFailed) {
+    if (job.killed_by_node) {
+      // The node died under the job: strike the payload's node-kill column
+      // (poison work takes nodes down with it) and reset the health score —
+      // the crash is already handled by drain/recover.
+      strike(watch, StrikeKind::kNodeKill, watch.node);
+      health_.node_crashed(watch.node);
+    } else {
+      strike(watch, StrikeKind::kFailure, watch.node);
+      if (health_.record_failure(watch.node, now)) {
+        health_.mark_drained(watch.node, now);
+        scheduler_.drain_node(watch.node);
+        log(now, "node_drain node=%d failures_in_window=%d", watch.node,
+            health_.config().failure_threshold);
+      }
+    }
+  }
+
+  if (watch.speculative)
+    resolve_twin_finish(job.id, watch, job);
+  else
+    resolve_original_finish(job.id, watch, job);
+}
+
+bool Supervisor::has_live_twin(sched::JobId id) const {
+  if (twin_requested_.count(id) > 0) return true;
+  auto it = twin_by_original_.find(id);
+  if (it == twin_by_original_.end()) return false;
+  const auto state = scheduler_.job(it->second).state;
+  return state == sched::JobState::kPending ||
+         state == sched::JobState::kRunning;
+}
+
+void Supervisor::tick(double now) {
+  // Pass 1: collect watchdog decisions over the ordered watch map; apply
+  // after the sweep (cancel() re-enters on_finish and mutates watches_).
+  std::vector<sched::JobId> hung;
+  std::vector<sched::JobId> stragglers;
+  for (auto& [id, w] : watches_) {
+    if (!w.watched || w.canary_node >= 0) continue;
+    const double elapsed = now - w.start_time;
+    if (elapsed > hard_deadline(w, now)) {
+      hung.push_back(id);
+    } else if (elapsed > soft_deadline(w, now) && cfg_.speculate &&
+               !w.speculative && !w.spec_requested &&
+               speculations_launched_ < cfg_.max_speculations &&
+               twin_by_original_.count(id) == 0 &&
+               twin_requested_.count(id) == 0) {
+      stragglers.push_back(id);
+    }
+  }
+
+  for (sched::JobId id : hung) {
+    const sched::Job job = scheduler_.job(id);  // copy: cancel invalidates
+    const Watch watch = watches_.at(id);
+    ++stats_.hangs_detected;
+    tm_.hangs->inc();
+    log(now, "hang_cancel job=%llu type=%s payload=%llu node=%d",
+        static_cast<unsigned long long>(id), watch.type.c_str(),
+        static_cast<unsigned long long>(watch.payload), watch.node);
+    strike(watch, StrikeKind::kHang, watch.node);
+    scheduler_.cancel(id);  // on_finish drops the watch, resolves any twin
+    if (!watch.speculative) control_.resubmit_hung(job);
+  }
+
+  for (sched::JobId id : stragglers) {
+    auto it = watches_.find(id);
+    if (it == watches_.end()) continue;  // finished during hang handling
+    const sched::Job& job = scheduler_.job(id);
+    if (job.state != sched::JobState::kRunning) continue;
+    if (control_.quarantine().quarantined(it->second.type,
+                                          it->second.payload))
+      continue;  // no point duplicating poison
+    // Mark the request BEFORE launching: a synchronous backend starts the
+    // twin inside launch_speculative(), and its on_start must find (and
+    // clear) the twin_requested_ entry, not race ahead of it.
+    it->second.spec_requested = true;
+    twin_requested_.insert(id);
+    if (!control_.launch_speculative(job)) {
+      it->second.spec_requested = false;
+      twin_requested_.erase(id);
+      continue;
+    }
+    ++speculations_launched_;
+    ++stats_.speculations;
+    tm_.speculations->inc();
+    log(now, "speculate job=%llu type=%s payload=%llu elapsed=%.3f",
+        static_cast<unsigned long long>(id), it->second.type.c_str(),
+        static_cast<unsigned long long>(it->second.payload),
+        now - it->second.start_time);
+  }
+
+  // Node probation: expired drains get a canary.
+  for (int node : health_.due_for_probe(now)) {
+    if (!control_.submit_canary(node)) continue;
+    health_.mark_probing(node);
+    ++stats_.node_probations;
+    tm_.probations->inc();
+    log(now, "probe node=%d canary submitted", node);
+  }
+
+  apply_shed_policy(now);
+}
+
+void Supervisor::apply_shed_policy(double now) {
+  const auto& graph = scheduler_.graph();
+  const int n = graph.n_nodes();
+  int drained = 0;
+  for (int i = 0; i < n; ++i)
+    if (graph.drained(i)) ++drained;
+  const double healthy = n > 0 ? static_cast<double>(n - drained) / n : 1.0;
+
+  int level = shed_level_;
+  if (healthy < cfg_.critical_floor_frac) {
+    level = 2;
+  } else if (healthy < cfg_.degraded_floor_frac) {
+    // Entering level 1, or recovering from level 2.
+    if (shed_level_ < 1 ||
+        healthy >= cfg_.critical_floor_frac + cfg_.recover_hysteresis_frac)
+      level = 1;
+  } else if (healthy >= cfg_.degraded_floor_frac + cfg_.recover_hysteresis_frac ||
+             shed_level_ == 0) {
+    level = 0;
+  }
+
+  if (level == shed_level_) return;
+  log(now, "shed_level %d -> %d healthy=%.3f", shed_level_, level, healthy);
+  if (shed_level_ == 0 && level > 0) degraded_since_ = now;
+  if (shed_level_ > 0 && level == 0 && degraded_since_ >= 0.0) {
+    stats_.degraded_time_s += now - degraded_since_;
+    degraded_since_ = -1.0;
+  }
+  shed_level_ = level;
+  ++stats_.shed_transitions;
+  tm_.shed_transitions->inc();
+  tm_.shed_level->set(level);
+  tm_.degraded_time_s->set(stats_.degraded_time_s);
+  control_.set_shed_level(level, now);
+}
+
+void Supervisor::finalize(double now) {
+  if (shed_level_ > 0 && degraded_since_ >= 0.0) {
+    stats_.degraded_time_s += now - degraded_since_;
+    degraded_since_ = now;
+    tm_.degraded_time_s->set(stats_.degraded_time_s);
+  }
+}
+
+}  // namespace mummi::supervise

@@ -1,0 +1,237 @@
+// Campaign supervision plane (paper Sec. 4.4; Workflows Community Roadmap
+// "anomaly detection"; Mini-MuMMI experience report "graceful degradation").
+//
+// The fault layer retries crisp failures; this layer covers the silent ones:
+//   - watchdog: jobs past a hard deadline derived from their tracker's
+//     mean/sigma are declared hung, cancelled and resubmitted — the one
+//     defence against payloads that never invoke their completion;
+//   - straggler mitigation: jobs past the soft deadline get a speculative
+//     twin; first finisher wins, the loser is cancelled;
+//   - poison quarantine: every failure/hang/node-kill strikes the logical
+//     payload in the QuarantineLedger (owned by the workload so it rides the
+//     WorkflowManager checkpoint); K strikes and the payload is never
+//     resubmitted;
+//   - node probation: nodes whose failure rate trips the NodeHealthTracker
+//     are drained, probed with a pinned canary job, and undrained on success;
+//   - degraded mode: when healthy capacity drops below a floor, the workload
+//     sheds low-priority job types (aa before cg) and restores on recovery.
+//
+// Determinism: the supervisor holds no RNG. Every decision is a pure function
+// of virtual time (tick schedule + scheduler callbacks, both fired in
+// deterministic event order) and counters; ties iterate std::map<JobId,...>
+// ascending. Identical seed + FaultSpec therefore reproduce a byte-identical
+// decision log — the property the supervision tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "supervise/node_health.hpp"
+#include "supervise/quarantine.hpp"
+#include "util/clock.hpp"
+
+namespace mummi::obs {
+class Counter;
+class Gauge;
+}  // namespace mummi::obs
+
+namespace mummi::supervise {
+
+/// Expected duration statistics for one job type (from JobTypeConfig).
+/// Types without a registered timing are not watched.
+struct JobTiming {
+  double mean_s = 0.0;
+  double sigma_s = 0.0;
+};
+
+/// Actions the supervisor needs from the workload layer. WorkflowManager
+/// implements this; the indirection keeps supervise/ below wm/ in the
+/// dependency order.
+class WorkloadControl {
+ public:
+  virtual ~WorkloadControl() = default;
+
+  /// Resubmits the logical payload of a hung job the supervisor cancelled.
+  /// Must consult quarantine() first; hang resubmissions do not consume the
+  /// payload's max_restarts budget.
+  virtual void resubmit_hung(const sched::Job& job) = 0;
+
+  /// Submits a speculative duplicate of a straggling job. The twin's spec
+  /// must carry attrs["speculative"]="1" and attrs["twin_of"]=<original id>.
+  /// Returns false when the workload declines (unknown type, shed, ...).
+  virtual bool launch_speculative(const sched::Job& job) = 0;
+
+  /// Degraded mode: 0 = full workload, 1 = shed aa work, 2 = also stop new
+  /// cg setups. Implementations cancel pending shed work and must requeue
+  /// the payloads for when the level drops.
+  virtual void set_shed_level(int level, double now) = 0;
+
+  /// Submits a canary probe pinned to `node`; returns false if unavailable.
+  virtual bool submit_canary(int node) = 0;
+
+  /// The poison ledger — owned by the workload so it serializes into the
+  /// same checkpoint blob as the rest of the WM state.
+  virtual QuarantineLedger& quarantine() = 0;
+};
+
+struct SuperviseConfig {
+  bool enabled = false;
+
+  double tick_interval_s = 30.0;
+
+  /// Deadlines for a job with timing {mean, sigma} and duration hint est:
+  ///   base = max(mean, est)
+  ///   soft = (soft_factor * base + soft_sigmas * sigma) * stretch
+  ///   hard = (hard_factor * base + hard_sigmas * sigma) * stretch
+  /// where `stretch` comes from set_duration_stretch (latency-spike faults
+  /// slow real jobs down; deadlines must stretch with them).
+  double soft_factor = 2.0;
+  double soft_sigmas = 4.0;
+  double hard_factor = 4.0;
+  double hard_sigmas = 6.0;
+
+  bool speculate = true;
+  int max_speculations = 64;  // per supervisor lifetime (one allocation)
+
+  NodeHealthConfig node_health;
+
+  /// Healthy-capacity floors for degraded mode (fraction of nodes undrained).
+  double degraded_floor_frac = 0.70;  // below: shed level 1 (aa)
+  double critical_floor_frac = 0.40;  // below: shed level 2 (aa + new cg)
+  double recover_hysteresis_frac = 0.05;
+};
+
+/// Aggregate outcome counters; merged across allocations by the campaign.
+struct SupervisionStats {
+  std::uint64_t hangs_detected = 0;
+  std::uint64_t speculations = 0;
+  std::uint64_t spec_wins = 0;    // twin finished first
+  std::uint64_t spec_losses = 0;  // original finished first, twin wasted
+  std::uint64_t quarantined = 0;
+  std::uint64_t node_probations = 0;
+  std::uint64_t canaries_ok = 0;
+  std::uint64_t canaries_failed = 0;
+  std::uint64_t shed_transitions = 0;
+  double degraded_time_s = 0.0;
+  double first_quarantine_s = -1.0;
+
+  void merge(const SupervisionStats& o);
+};
+
+class Supervisor {
+ public:
+  /// Registers on_start/on_finish on `scheduler`. Register the workload's
+  /// own callbacks FIRST: the winner of a speculative pair must reach the
+  /// workload before the supervisor cancels the loser.
+  Supervisor(sched::Scheduler& scheduler, const util::Clock& clock,
+             WorkloadControl& control, SuperviseConfig cfg);
+
+  /// Registers duration expectations for a watched job type.
+  void set_timing(const std::string& type, JobTiming timing);
+
+  /// Deadline stretch factor as a function of virtual time (e.g. the fault
+  /// injector's latency factor). Default: constant 1.
+  void set_duration_stretch(std::function<double(double)> fn);
+
+  /// One supervision pass at virtual time `now`: watchdog deadlines, node
+  /// probation, degraded-mode floor. The campaign schedules this every
+  /// cfg.tick_interval_s.
+  void tick(double now);
+
+  /// Closes open degraded-mode intervals at end of allocation.
+  void finalize(double now);
+
+  [[nodiscard]] const SupervisionStats& stats() const { return stats_; }
+  [[nodiscard]] int shed_level() const { return shed_level_; }
+  [[nodiscard]] const NodeHealthTracker& node_health() const { return health_; }
+  [[nodiscard]] const SuperviseConfig& config() const { return cfg_; }
+
+  /// Decision log: one line per supervision action, in decision order.
+  /// Byte-identical across runs with the same seed + spec.
+  [[nodiscard]] const std::vector<std::string>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] std::string log_text() const;
+
+  /// True while `job` (an original) has a live or requested speculative twin
+  /// — the workload's resubmit veto, so a failed original is not resubmitted
+  /// on top of its still-running twin.
+  [[nodiscard]] bool has_live_twin(sched::JobId id) const;
+
+ private:
+  struct Watch {
+    std::string type;
+    std::uint64_t payload = 0;
+    double start_time = 0.0;
+    double est_duration = 0.0;
+    int node = -1;          // first allocated node (attribution)
+    int canary_node = -1;   // >= 0: this job is a canary probing that node
+    bool speculative = false;
+    sched::JobId twin_of = sched::kInvalidJob;  // set on twins
+    bool spec_requested = false;  // original already has a twin
+    bool watched = false;         // type has a registered timing
+  };
+
+  void on_start(const sched::Job& job);
+  void on_finish(const sched::Job& job);
+  void handle_canary_finish(const Watch& watch, const sched::Job& job);
+  void resolve_twin_finish(sched::JobId id, Watch& watch,
+                           const sched::Job& job);
+  void resolve_original_finish(sched::JobId id, Watch& watch,
+                               const sched::Job& job);
+  void strike(const Watch& watch, StrikeKind kind, int node);
+  void apply_shed_policy(double now);
+  void log(double now, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  [[nodiscard]] double stretch(double now) const;
+  [[nodiscard]] double soft_deadline(const Watch& w, double now) const;
+  [[nodiscard]] double hard_deadline(const Watch& w, double now) const;
+
+  sched::Scheduler& scheduler_;
+  const util::Clock& clock_;
+  WorkloadControl& control_;
+  SuperviseConfig cfg_;
+
+  std::map<std::string, JobTiming> timings_;
+  std::function<double(double)> stretch_fn_;
+
+  std::map<sched::JobId, Watch> watches_;  // ordered ⇒ deterministic sweeps
+  std::map<sched::JobId, sched::JobId> twin_by_original_;
+  std::map<sched::JobId, sched::JobId> original_by_twin_;
+  /// Originals whose twin was requested but has not started yet.
+  std::set<sched::JobId> twin_requested_;
+  /// Originals that finished with their twin still unstarted: the twin is
+  /// cancelled the moment it starts (or never, if it is tombstoned pending).
+  std::set<sched::JobId> orphaned_originals_;
+
+  NodeHealthTracker health_;
+  int shed_level_ = 0;
+  double degraded_since_ = -1.0;
+  int speculations_launched_ = 0;
+
+  SupervisionStats stats_;
+  std::vector<std::string> decisions_;
+
+  struct Telemetry {
+    obs::Counter* hangs = nullptr;
+    obs::Counter* speculations = nullptr;
+    obs::Counter* spec_wins = nullptr;
+    obs::Counter* spec_losses = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* probations = nullptr;
+    obs::Counter* canaries_ok = nullptr;
+    obs::Counter* canaries_failed = nullptr;
+    obs::Counter* shed_transitions = nullptr;
+    obs::Gauge* shed_level = nullptr;
+    obs::Gauge* degraded_time_s = nullptr;
+  };
+  Telemetry tm_;
+};
+
+}  // namespace mummi::supervise

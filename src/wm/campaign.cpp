@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <utility>
 
 #include "fault/fault_injector.hpp"
@@ -21,7 +22,49 @@ constexpr std::uint64_t kFrameIdBase = 1ULL << 40;  // keep ids disjoint
 /// calibrated so the full campaign lands near the paper's 1.03B files.
 constexpr double kFilesPerCgFrame = 5.0;
 
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;  // v2: supervision state
+
+void write_str_list(util::ByteWriter& w, const std::vector<std::string>& v) {
+  w.u64(v.size());
+  for (const auto& s : v) w.str(s);
+}
+
+std::vector<std::string> read_str_list(util::ByteReader& r) {
+  std::vector<std::string> v(r.u64());
+  for (auto& s : v) s = r.str();
+  return v;
+}
+
+void write_supervision(util::ByteWriter& w,
+                       const supervise::SupervisionStats& s) {
+  w.u64(s.hangs_detected);
+  w.u64(s.speculations);
+  w.u64(s.spec_wins);
+  w.u64(s.spec_losses);
+  w.u64(s.quarantined);
+  w.u64(s.node_probations);
+  w.u64(s.canaries_ok);
+  w.u64(s.canaries_failed);
+  w.u64(s.shed_transitions);
+  w.f64(s.degraded_time_s);
+  w.f64(s.first_quarantine_s);
+}
+
+supervise::SupervisionStats read_supervision(util::ByteReader& r) {
+  supervise::SupervisionStats s;
+  s.hangs_detected = r.u64();
+  s.speculations = r.u64();
+  s.spec_wins = r.u64();
+  s.spec_losses = r.u64();
+  s.quarantined = r.u64();
+  s.node_probations = r.u64();
+  s.canaries_ok = r.u64();
+  s.canaries_failed = r.u64();
+  s.shed_transitions = r.u64();
+  s.degraded_time_s = r.f64();
+  s.first_quarantine_s = r.f64();
+  return s;
+}
 
 void write_u64_list(util::ByteWriter& w, const std::vector<std::uint64_t>& v) {
   w.u64(v.size());
@@ -99,17 +142,22 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   // Job trackers for the four application job types + the continuum.
   TrackerSet trackers;
   auto add_tracker = [&](const std::string& type, int cores, int gpus,
-                         double mean_s) {
+                         double mean_s, double sigma_s) {
     JobTypeConfig cfg;
     cfg.type = type;
     cfg.request.slot = sched::Slot{cores, gpus};
     cfg.mean_duration = mean_s;
+    cfg.sigma_duration = sigma_s;
     trackers.add(std::make_unique<JobTracker>(cfg));
   };
-  add_tracker("cg_setup", 24, 0, config_.perf.createsim_mean_s);
-  add_tracker("cg_sim", 3, 1, 86400);
-  add_tracker("aa_setup", 18, 0, config_.perf.backmap_mean_s);
-  add_tracker("aa_sim", 3, 1, 86400);
+  // Setup durations are lognormal(sigma=0.25 in log space); ~0.25*mean is the
+  // absolute spread the watchdog deadlines are derived from.
+  add_tracker("cg_setup", 24, 0, config_.perf.createsim_mean_s,
+              0.25 * config_.perf.createsim_mean_s);
+  add_tracker("cg_sim", 3, 1, 86400, 0.25 * 86400);
+  add_tracker("aa_setup", 18, 0, config_.perf.backmap_mean_s,
+              0.25 * config_.perf.backmap_mean_s);
+  add_tracker("aa_sim", 3, 1, 86400, 0.25 * 86400);
 
   const int continuum_nodes =
       std::max(1, std::min(config_.continuum_nodes_max, nodes / 4));
@@ -128,7 +176,7 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   }
   fault::FaultInjector injector(std::move(fault_plan));
   injector.bind_scheduler(&scheduler);
-  injector.arm(engine);
+  // Armed below, once the executor exists — hang/straggler faults target it.
 
   // --- per-run state -------------------------------------------------------
   bool continuum_running = false;
@@ -267,6 +315,53 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
       maestro.poll();
     });
   });
+  injector.bind_executor(&executor);
+  injector.arm(engine);
+
+  // Poison work: a deterministic subset of payloads kills every attempt of
+  // its job type — the repeat offender the quarantine ledger is keyed for.
+  if (config_.poison_payload_modulus > 0)
+    executor.set_poison([this](const sched::Job& job) {
+      return job.spec.type == config_.poison_job_type &&
+             job.spec.payload != 0 &&
+             job.spec.payload % config_.poison_payload_modulus == 0;
+    });
+
+  // --- supervision plane (off by default: bit-identical figure runs) -------
+  // Constructed after the WM so the winner of a speculative pair reaches the
+  // workload before the supervisor cancels the loser. Watchdog deadlines come
+  // from the tracker duration models; sims legitimately outlive any deadline
+  // shorter than the allocation, so in practice the watchdog covers setup and
+  // canary jobs within a run while hung sims are reclaimed at teardown (no
+  // progress credited, payload carried to the next allocation).
+  std::optional<supervise::Supervisor> supervisor;
+  std::function<void()> supervise_tick;
+  if (config_.supervise.enabled) {
+    supervisor.emplace(scheduler, engine.clock(), wm, config_.supervise);
+    for (const auto& type : trackers.types()) {
+      const auto& tc = trackers.tracker(type).config();
+      supervisor->set_timing(type, {tc.mean_duration, tc.sigma_duration});
+    }
+    supervisor->set_timing(config_.wm.canary_type,
+                           {config_.wm.canary_duration_s, 0.0});
+    // Latency-spike faults stretch real durations; deadlines stretch along.
+    supervisor->set_duration_stretch(
+        [&injector](double now) { return injector.latency_factor(now); });
+    wm.set_resubmit_veto([&supervisor](const sched::Job& job) {
+      return supervisor->has_live_twin(job.id);
+    });
+    supervise_tick = [&] {
+      // Poll only when the tick actually acted (every action logs a decision
+      // line): an idle supervisor must not perturb queue-service timing, so a
+      // zero-fault supervised run stays bit-identical to an unsupervised one.
+      const std::size_t before = supervisor->decisions().size();
+      supervisor->tick(engine.now());
+      if (supervisor->decisions().size() != before)
+        maestro.poll();  // place any resubmits/twins/canaries right away
+      engine.schedule_after(config_.supervise.tick_interval_s, supervise_tick);
+    };
+    engine.schedule_after(config_.supervise.tick_interval_s, supervise_tick);
+  }
 
   // The continuum job loads first.
   maestro.submit(continuum_spec());
@@ -437,22 +532,31 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
     // checkpointed progress includes time since they started.
     std::vector<std::uint64_t> fly_cg, fly_aa, fly_cg_setup, fly_aa_setup;
     std::unordered_map<std::uint64_t, double> running_for;
+    // A payload may be in flight twice (original + speculative twin); it must
+    // resume exactly once.
+    std::set<std::uint64_t> seen_cg, seen_aa, seen_cg_setup, seen_aa_setup;
+    auto push_unique = [](std::vector<std::uint64_t>& v,
+                          std::set<std::uint64_t>& seen, std::uint64_t p) {
+      if (seen.insert(p).second) v.push_back(p);
+    };
     auto active = scheduler.active_jobs();
     std::sort(active.begin(), active.end());
     for (const sched::JobId id : active) {
       const sched::Job& job = scheduler.job(id);
       const auto& type = job.spec.type;
       if (type == "cg_sim")
-        fly_cg.push_back(job.spec.payload);
+        push_unique(fly_cg, seen_cg, job.spec.payload);
       else if (type == "aa_sim")
-        fly_aa.push_back(job.spec.payload);
+        push_unique(fly_aa, seen_aa, job.spec.payload);
       else if (type == "cg_setup")
-        fly_cg_setup.push_back(job.spec.payload);
+        push_unique(fly_cg_setup, seen_cg_setup, job.spec.payload);
       else if (type == "aa_setup")
-        fly_aa_setup.push_back(job.spec.payload);
+        push_unique(fly_aa_setup, seen_aa_setup, job.spec.payload);
       else
         continue;
-      if (job.state == sched::JobState::kRunning &&
+      // Hung jobs accrue no progress; their sims resume from the last
+      // checkpointed position instead.
+      if (job.state == sched::JobState::kRunning && !executor.is_hung(id) &&
           (type == "cg_sim" || type == "aa_sim"))
         running_for[job.spec.payload] = engine.now() - job.start_time;
     }
@@ -505,6 +609,18 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
     w.u64(result.fault_jobs_killed + injector.jobs_killed());
     w.u64(result.checkpoints_written);
 
+    // v2: supervision outcomes so far (prior runs + this run's partial). The
+    // quarantine ledger itself rides inside wm.serialize() above.
+    supervise::SupervisionStats sup = result.supervision;
+    std::vector<std::string> sup_log = result.supervision_log;
+    if (supervisor) {
+      sup.merge(supervisor->stats());
+      sup_log.insert(sup_log.end(), supervisor->decisions().begin(),
+                     supervisor->decisions().end());
+    }
+    write_supervision(w, sup);
+    write_str_list(w, sup_log);
+
     util::CheckpointFile(config_.checkpoint_path).save(std::move(w).take());
   };
 
@@ -538,10 +654,14 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   engine.run_until(walltime_s);
 
   // --- teardown: checkpoint-and-carry --------------------------------------
+  std::set<std::uint64_t> torn_down_sims, torn_down_setups;
   for (const sched::JobId id : scheduler.active_jobs()) {
     const sched::Job& job = scheduler.job(id);
     const auto& type = job.spec.type;
-    const bool was_running = job.state == sched::JobState::kRunning;
+    // Hung jobs made no progress since launch; their payloads still carry
+    // over, so a hang costs at most the rest of this allocation.
+    const bool was_running =
+        job.state == sched::JobState::kRunning && !executor.is_hung(id);
     if (type == "cg_sim" || type == "aa_sim") {
       auto it = sims_.find(job.spec.payload);
       if (it != sims_.end() && was_running) {
@@ -552,17 +672,22 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
         if (ls.progress >= ls.target) {
           finish_sim(job.spec.payload, ls);
           sims_.erase(it);
+          torn_down_sims.insert(job.spec.payload);  // twin must not resume it
           scheduler.cancel(id);
           continue;
         }
       }
-      // Resumes next allocation from its checkpoint.
-      if (type == "cg_sim")
-        carry_resume_cg_.push_back(job.spec.payload);
-      else
-        carry_resume_aa_.push_back(job.spec.payload);
+      // Resumes next allocation from its checkpoint. An original and its
+      // speculative twin share a payload; it resumes exactly once.
+      if (torn_down_sims.insert(job.spec.payload).second) {
+        if (type == "cg_sim")
+          carry_resume_cg_.push_back(job.spec.payload);
+        else
+          carry_resume_aa_.push_back(job.spec.payload);
+      }
     } else if (type == "cg_setup" || type == "aa_setup") {
-      wm.requeue_setup(type, job.spec.payload);
+      if (torn_down_setups.insert(job.spec.payload).second)
+        wm.requeue_setup(type, job.spec.payload);
     }
     scheduler.cancel(id);
   }
@@ -587,6 +712,16 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
 
   result.faults_injected += injector.fired().size();
   result.fault_jobs_killed += injector.jobs_killed();
+
+  if (supervisor) {
+    supervisor->finalize(engine.now());
+    result.supervision.merge(supervisor->stats());
+    const auto& log = supervisor->decisions();
+    result.supervision_log.insert(result.supervision_log.end(), log.begin(),
+                                  log.end());
+  }
+  // The ledger carries across allocations; the last run's view is cumulative.
+  result.quarantined = wm.quarantine_ledger().quarantined_keys();
 
   campaign_hours_done += walltime_h;
 }
@@ -654,6 +789,8 @@ std::optional<std::uint64_t> Campaign::try_load_checkpoint(
   result.faults_injected = r.u64();
   result.fault_jobs_killed = r.u64();
   result.checkpoints_written = r.u64();
+  result.supervision = read_supervision(r);
+  result.supervision_log = read_str_list(r);
   result.resumed_from_checkpoint = true;
 
   resume_ = std::move(rs);

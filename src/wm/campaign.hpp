@@ -84,6 +84,18 @@ struct CampaignConfig {
   /// whole campaign stays deterministic.
   fault::FaultSpec faults;
 
+  /// Campaign supervision plane (watchdogs, speculative twins, poison
+  /// quarantine, node probation, degraded mode). Disabled by default so
+  /// figure runs are bit-identical with and without this subsystem built in.
+  supervise::SuperviseConfig supervise;
+
+  /// Poison-work model: payloads whose id is a nonzero multiple of this
+  /// modulus deterministically fail every `poison_job_type` attempt —
+  /// the "work item that kills whatever runs it" pattern the quarantine
+  /// ledger exists for. 0 disables.
+  std::uint64_t poison_payload_modulus = 0;
+  std::string poison_job_type = "cg_setup";
+
   /// Periodic campaign checkpoint cadence (virtual seconds); 0 disables.
   /// Requires checkpoint_path. A fresh Campaign with the same config resumes
   /// from the newest checkpoint automatically (and removes it on success).
@@ -138,6 +150,14 @@ struct CampaignResult {
   std::uint64_t fault_jobs_killed = 0;  // running jobs killed by node crashes
   std::uint64_t checkpoints_written = 0;
   bool resumed_from_checkpoint = false;
+
+  // Supervision plane outcomes (all zero when supervise.enabled is false).
+  supervise::SupervisionStats supervision;
+  /// Decision log across all runs, in decision order — byte-identical for
+  /// identical (config, seed) and the anchor of the determinism tests.
+  std::vector<std::string> supervision_log;
+  /// Quarantined "type:payload" keys at campaign end, ascending.
+  std::vector<std::string> quarantined;
 };
 
 class Campaign {

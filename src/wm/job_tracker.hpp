@@ -36,21 +36,26 @@ class JobTracker {
   [[nodiscard]] virtual sched::JobSpec make_spec(std::uint64_t payload) const;
 
   /// Policy hook: should a finished job be resubmitted? Default: failed jobs
-  /// retry up to max_restarts.
+  /// retry up to max_restarts; node-crash kills (job.killed_by_node) always
+  /// retry without consuming that budget.
   [[nodiscard]] virtual bool should_resubmit(const sched::Job& job) const;
 
-  /// Counters the WM maintains through notify().
+  /// Counters the WM maintains through notify(). `failed` counts genuine
+  /// payload failures; `killed_by_fault` counts node-caused deaths (the two
+  /// are disjoint — attribution decides restart-budget charging).
   struct Counters {
     std::size_t submitted = 0;
     std::size_t completed = 0;
     std::size_t failed = 0;
     std::size_t restarted = 0;
+    std::size_t killed_by_fault = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
   void note_submitted() { ++counters_.submitted; }
   void note_completed() { ++counters_.completed; }
   void note_failed() { ++counters_.failed; }
   void note_restarted() { ++counters_.restarted; }
+  void note_killed_by_fault() { ++counters_.killed_by_fault; }
 
   /// Builds a tracker from configuration, e.g.:
   ///   [job.cg_sim]

@@ -1,5 +1,6 @@
 #include "wm/workflow_manager.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "obs/metrics.hpp"
@@ -17,7 +18,8 @@ WorkflowManager::WorkflowManager(WmConfig config, Maestro& maestro,
       maestro_(maestro),
       trackers_(trackers),
       patch_selector_(patch_selector),
-      frame_selector_(frame_selector) {
+      frame_selector_(frame_selector),
+      quarantine_(config_.quarantine_strikes) {
   maestro_.on_start([this](const sched::Job& job) {
     bump(pending_, job.spec.type, -1);
     bump(running_, job.spec.type, +1);
@@ -92,18 +94,27 @@ int WorkflowManager::maintain(int submit_budget) {
   auto& scheduler = maestro_.scheduler();
 
   // Simulations first: GPUs must never idle while prepared work exists.
+  // Quarantined payloads are dropped on the way out of the ready buffer —
+  // poison work never reaches the machine again.
   auto fill_sims = [&](const std::string& sim_type,
                        std::deque<std::uint64_t>& ready, int capacity) {
     while (submitted < submit_budget && !ready.empty() &&
            running(sim_type) + pending(sim_type) < capacity) {
       const std::uint64_t payload = ready.front();
       ready.pop_front();
+      if (quarantine_.quarantined(sim_type, payload)) {
+        obs::counter("wm.quarantine_skips").inc();
+        continue;
+      }
       submitted += submit_via_tracker(sim_type, payload);
     }
   };
+  // Degraded mode (paper priority ordering: aa sheds before cg): level >= 1
+  // stops all aa work, level >= 2 additionally stops new cg setups while cg
+  // sims keep the ML-feedback loop alive.
   if (!config_.cg_sim_type.empty())
     fill_sims(config_.cg_sim_type, ready_cg_, cg_capacity());
-  if (!config_.aa_sim_type.empty())
+  if (shed_level_ < 1 && !config_.aa_sim_type.empty())
     fill_sims(config_.aa_sim_type, ready_aa_, aa_capacity());
 
   // Setups: keep the prepared buffers near target without oversubscribing
@@ -142,17 +153,29 @@ int WorkflowManager::maintain(int submit_budget) {
       n = std::min(n, by_cores);
     }
     if (n <= 0) return;
-    // Interrupted setups drain before new selections are made.
+    // Interrupted setups drain before new selections are made (quarantined
+    // payloads fall out here too: a requeue may predate the quarantine).
     while (n > 0 && !requeued.empty()) {
-      submitted += submit_via_tracker(setup_type, requeued.front());
+      const std::uint64_t payload = requeued.front();
       requeued.pop_front();
+      if (quarantine_.quarantined(setup_type, payload)) {
+        obs::counter("wm.quarantine_skips").inc();
+        continue;
+      }
+      submitted += submit_via_tracker(setup_type, payload);
       --n;
     }
     if (n > 0)
-      for (const auto payload : select_batch(static_cast<std::size_t>(n)))
+      for (const auto payload : select_batch(static_cast<std::size_t>(n))) {
+        if (quarantine_.quarantined(setup_type, payload)) {
+          obs::counter("wm.quarantine_skips").inc();
+          continue;
+        }
         submitted += submit_via_tracker(setup_type, payload);
+      }
   };
-  fill_setups(config_.cg_setup_type, config_.cg_sim_type, ready_cg_,
+  if (shed_level_ < 2)
+    fill_setups(config_.cg_setup_type, config_.cg_sim_type, ready_cg_,
               requeued_cg_setup_, config_.cg_ready_target, cg_capacity(),
               [this](std::size_t m) {
                 obs::Span select_span("wm.select.patch", "wm");
@@ -164,7 +187,8 @@ int WorkflowManager::maintain(int submit_budget) {
                 obs::counter("wm.selector.cg_picks").inc(payloads.size());
                 return payloads;
               });
-  fill_setups(config_.aa_setup_type, config_.aa_sim_type, ready_aa_,
+  if (shed_level_ < 1)
+    fill_setups(config_.aa_setup_type, config_.aa_sim_type, ready_aa_,
               requeued_aa_setup_, config_.aa_ready_target, aa_capacity(),
               [this](std::size_t m) {
                 obs::Span select_span("wm.select.frame", "wm");
@@ -207,7 +231,33 @@ void WorkflowManager::handle_finish(const sched::Job& job) {
   }
 
   if (job.state == sched::JobState::kFailed) {
-    tracker.note_failed();
+    if (job.killed_by_node)
+      tracker.note_killed_by_fault();
+    else
+      tracker.note_failed();
+
+    // Speculative twins never resubmit themselves — the original (or its own
+    // retry) owns the payload's lifecycle.
+    if (job.spec.attrs.count("speculative") > 0) return;
+
+    if (quarantine_.quarantined(type, job.spec.payload)) {
+      obs::counter("wm.quarantine_skips").inc();
+      if (is_sim && sim_finished_) sim_finished_(job);  // terminal for the app
+      return;
+    }
+    // A live speculative twin is already this payload's retry.
+    if (resubmit_veto_ && resubmit_veto_(job)) return;
+
+    if (job.killed_by_node) {
+      // Restart-budget attribution: the node died under the job, the payload
+      // did nothing wrong — retry without consuming its max_restarts budget.
+      tracker.note_restarted();
+      submit_via_tracker(type, job.spec.payload);
+      util::log_debug("resubmitted node-killed ", type, " payload ",
+                      job.spec.payload, " (budget untouched)");
+      return;
+    }
+
     int& tries = restarts_[job.spec.payload];
     if (tries < tracker.config().max_restarts) {
       ++tries;
@@ -219,6 +269,97 @@ void WorkflowManager::handle_finish(const sched::Job& job) {
       sim_finished_(job);  // give the application the terminal failure
     }
   }
+}
+
+void WorkflowManager::resubmit_hung(const sched::Job& job) {
+  const std::string& type = job.spec.type;
+  if (!trackers_.has(type)) return;
+  if (quarantine_.quarantined(type, job.spec.payload)) {
+    obs::counter("wm.quarantine_skips").inc();
+    return;
+  }
+  // Hang retries are budget-free (like node kills: the watchdog, not the
+  // payload's exit status, ended the job); the quarantine ledger bounds
+  // payloads that hang wherever they run.
+  auto& tracker = trackers_.tracker(type);
+  tracker.note_restarted();
+  submit_via_tracker(type, job.spec.payload);
+  util::log_debug("resubmitted hung ", type, " payload ", job.spec.payload);
+}
+
+bool WorkflowManager::launch_speculative(const sched::Job& job) {
+  const std::string& type = job.spec.type;
+  if (!trackers_.has(type)) return false;
+  // Don't duplicate work the shed policy is rejecting.
+  const bool is_aa =
+      type == config_.aa_setup_type || type == config_.aa_sim_type;
+  if (shed_level_ >= 1 && is_aa) return false;
+  if (shed_level_ >= 2 && type == config_.cg_setup_type) return false;
+
+  sched::JobSpec spec = job.spec;  // duration hint and attrs match the twin
+  spec.attrs["speculative"] = "1";
+  spec.attrs["twin_of"] = std::to_string(job.id);
+  trackers_.tracker(type).note_submitted();
+  bump(pending_, type, +1);
+  maestro_.submit(std::move(spec));
+  maestro_.poll();
+  return true;
+}
+
+bool WorkflowManager::submit_canary(int node) {
+  if (config_.canary_type.empty()) return false;
+  sched::JobSpec spec;
+  spec.name = "canary-" + std::to_string(node);
+  spec.type = config_.canary_type;
+  spec.request.slot = sched::Slot{1, 0};
+  spec.request.pin_node = node;
+  spec.est_duration = config_.canary_duration_s;
+  spec.attrs["canary_node"] = std::to_string(node);
+  bump(pending_, config_.canary_type, +1);
+  maestro_.submit(std::move(spec));
+  maestro_.poll();
+  return true;
+}
+
+void WorkflowManager::shed_pending(const std::string& type) {
+  if (type.empty()) return;
+  auto& scheduler = maestro_.scheduler();
+  auto ids = scheduler.active_jobs();
+  std::sort(ids.begin(), ids.end());  // deterministic cancel order
+  for (const auto id : ids) {
+    const auto& job = scheduler.job(id);
+    if (job.state != sched::JobState::kPending || job.spec.type != type)
+      continue;
+    if (job.spec.attrs.count("speculative") > 0) continue;  // dies with twin
+    const std::uint64_t payload = job.spec.payload;
+    maestro_.cancel(id);  // handle_finish rebalances pending_
+    if (type == config_.cg_sim_type)
+      ready_cg_.push_front(payload);
+    else if (type == config_.aa_sim_type)
+      ready_aa_.push_front(payload);
+    else if (type == config_.cg_setup_type)
+      requeued_cg_setup_.push_front(payload);
+    else if (type == config_.aa_setup_type)
+      requeued_aa_setup_.push_front(payload);
+  }
+}
+
+void WorkflowManager::set_shed_level(int level, double now) {
+  (void)now;
+  if (level == shed_level_) return;
+  const int prev = shed_level_;
+  shed_level_ = level;
+  obs::counter("wm.shed_changes").inc();
+  util::log_debug("shed level ", prev, " -> ", level);
+  if (level >= 1 && prev < 1) {
+    // aa sheds before cg (the paper's priority ordering): pending aa work is
+    // withdrawn; payloads return to the front of their queues for recovery.
+    shed_pending(config_.aa_sim_type);
+    shed_pending(config_.aa_setup_type);
+  }
+  if (level >= 2 && prev < 2) shed_pending(config_.cg_setup_type);
+  // Dropping the level needs no action here: the next maintain() pass
+  // resumes submission from the preserved queues.
 }
 
 void WorkflowManager::requeue_setup(const std::string& type,
@@ -258,6 +399,7 @@ util::Bytes WorkflowManager::serialize() const {
   }
   w.bytes(patch_selector_.serialize());
   w.bytes(frame_selector_.serialize());
+  w.bytes(quarantine_.serialize());
   return std::move(w).take();
 }
 
@@ -277,11 +419,15 @@ void WorkflowManager::restore(const util::Bytes& bytes) {
   patch_selector_.restore(patch_state);
   const util::Bytes frame_state = r.bytes();
   frame_selector_.restore(frame_state);
+  if (!r.at_end()) {  // blobs from before the supervision plane lack this
+    const util::Bytes quarantine_state = r.bytes();
+    quarantine_.restore(quarantine_state);
+  }
 }
 
 WorkflowManager::CarryOver WorkflowManager::carry_over() const {
   return CarryOver{ready_cg_, ready_aa_, requeued_cg_setup_,
-                   requeued_aa_setup_};
+                   requeued_aa_setup_, quarantine_.serialize()};
 }
 
 void WorkflowManager::restore_carry_over(const CarryOver& state) {
@@ -289,6 +435,7 @@ void WorkflowManager::restore_carry_over(const CarryOver& state) {
   ready_aa_ = state.ready_aa;
   requeued_cg_setup_ = state.requeued_cg_setup;
   requeued_aa_setup_ = state.requeued_aa_setup;
+  if (!state.quarantine.empty()) quarantine_.restore(state.quarantine);
 }
 
 }  // namespace mummi::wm

@@ -24,6 +24,7 @@
 #include <functional>
 
 #include "feedback/feedback_manager.hpp"
+#include "supervise/supervisor.hpp"
 #include "wm/job_tracker.hpp"
 #include "wm/maestro.hpp"
 #include "wm/selectors.hpp"
@@ -47,9 +48,19 @@ struct WmConfig {
   /// configurations."
   int cg_ready_target = 60;
   int aa_ready_target = 30;
+
+  /// Poison-work quarantine: strikes (failures/hangs, or node kills on that
+  /// many distinct nodes) before a payload is never resubmitted. <= 0
+  /// disables quarantining.
+  int quarantine_strikes = 3;
+
+  /// Node-probation canary probes (supervision plane). The canary type has
+  /// no tracker; its completion is interpreted by the Supervisor.
+  std::string canary_type = "canary";
+  double canary_duration_s = 60.0;
 };
 
-class WorkflowManager {
+class WorkflowManager : public supervise::WorkloadControl {
  public:
   using SimFinishedFn = std::function<void(const sched::Job&)>;
 
@@ -96,6 +107,31 @@ class WorkflowManager {
   /// drain before new selections are made.
   void requeue_setup(const std::string& type, std::uint64_t payload);
 
+  // --- supervision plane (supervise::WorkloadControl) ---------------------
+  /// Resubmits a watchdog-cancelled hung payload. Hang retries do not consume
+  /// max_restarts — the quarantine ledger bounds repeat offenders instead.
+  void resubmit_hung(const sched::Job& job) override;
+  /// Submits a speculative twin of a straggling job (attrs mark the pairing).
+  bool launch_speculative(const sched::Job& job) override;
+  /// Degraded mode: 0 = full workload, 1 = shed aa, 2 = also stop new cg
+  /// setups. Raising the level cancels pending shed-type jobs and requeues
+  /// their payloads; maintain() honors the level until it drops.
+  void set_shed_level(int level, double now) override;
+  /// Canary probe pinned to `node` (config_.canary_type).
+  bool submit_canary(int node) override;
+  [[nodiscard]] supervise::QuarantineLedger& quarantine() override {
+    return quarantine_;
+  }
+  [[nodiscard]] const supervise::QuarantineLedger& quarantine_ledger() const {
+    return quarantine_;
+  }
+  [[nodiscard]] int shed_level() const { return shed_level_; }
+  /// Supervisor hook: when set and true for a failed job, handle_finish skips
+  /// resubmission (a live speculative twin is already the retry).
+  void set_resubmit_veto(std::function<bool(const sched::Job&)> fn) {
+    resubmit_veto_ = std::move(fn);
+  }
+
   /// Carry-over state between allocations: ready buffers and interrupted
   /// setups survive runs ("MuMMI can seamlessly (re)start runs at different
   /// computational scales").
@@ -104,6 +140,7 @@ class WorkflowManager {
     std::deque<std::uint64_t> ready_aa;
     std::deque<std::uint64_t> requeued_cg_setup;
     std::deque<std::uint64_t> requeued_aa_setup;
+    util::Bytes quarantine;  // poison ledger survives allocations
   };
   [[nodiscard]] CarryOver carry_over() const;
   void restore_carry_over(const CarryOver& state);
@@ -118,6 +155,8 @@ class WorkflowManager {
   void bump(std::unordered_map<std::string, int>& map, const std::string& key,
             int delta);
   int submit_via_tracker(const std::string& type, std::uint64_t payload);
+  /// Cancels pending jobs of `type` (ascending JobId) and requeues payloads.
+  void shed_pending(const std::string& type);
 
   WmConfig config_;
   Maestro& maestro_;
@@ -135,6 +174,10 @@ class WorkflowManager {
   std::unordered_map<std::string, int> pending_;
   // Logical restart counts per payload (trackers bound resubmissions).
   std::unordered_map<std::uint64_t, int> restarts_;
+
+  supervise::QuarantineLedger quarantine_;
+  int shed_level_ = 0;
+  std::function<bool(const sched::Job&)> resubmit_veto_;
 };
 
 }  // namespace mummi::wm

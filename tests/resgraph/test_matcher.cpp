@@ -213,6 +213,56 @@ TEST(MatcherCost, ResetVisits) {
   EXPECT_EQ(m.visits(), 0u);
 }
 
+TEST_P(MatcherContract, PinnedRequestTargetsOnlyThatNode) {
+  ResourceGraph graph(ClusterSpec::summit(3));
+  auto m = matcher();
+  Request req;
+  req.slot = Slot{1, 0};
+  req.pin_node = 1;
+  const auto alloc = m->match(graph, req);
+  ASSERT_TRUE(alloc.has_value());
+  ASSERT_EQ(alloc->slots.size(), 1u);
+  EXPECT_EQ(alloc->slots[0].node, 1);
+
+  // Out-of-range pins never match, even with a wide-open cluster.
+  req.pin_node = 3;
+  EXPECT_FALSE(m->match(graph, req).has_value());
+  req.pin_node = -2;  // -1 means unpinned; anything lower is invalid
+  req.pin_node = 99;
+  EXPECT_FALSE(m->match(graph, req).has_value());
+}
+
+TEST_P(MatcherContract, PinnedRequestIgnoresDrainButRespectsCapacity) {
+  // The supervision canary probes a node that is drained by definition: the
+  // pin must bypass the drain flag while still honoring free capacity.
+  ResourceGraph graph(ClusterSpec::summit(2));
+  graph.drain(0);
+  auto m = matcher();
+
+  Request unpinned;
+  unpinned.slot = Slot{1, 0};
+  const auto elsewhere = m->match(graph, unpinned);
+  ASSERT_TRUE(elsewhere.has_value());
+  EXPECT_EQ(elsewhere->slots[0].node, 1);  // normal work avoids the drain
+
+  Request canary;
+  canary.slot = Slot{1, 0};
+  canary.pin_node = 0;
+  const auto probe = m->match(graph, canary);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->slots[0].node, 0);
+
+  // Fill node 0's cores: the pin respects real capacity and reports no fit
+  // rather than spilling to another node.
+  Request fill;
+  fill.slot = Slot{44, 0};
+  fill.pin_node = 0;
+  const auto bulk = m->match(graph, fill);
+  ASSERT_TRUE(bulk.has_value());
+  graph.allocate(*bulk);
+  EXPECT_FALSE(m->match(graph, canary).has_value());
+}
+
 TEST(FirstMatchMatcher, CursorRecyclesFreedNodes) {
   ResourceGraph graph(ClusterSpec::summit(2));
   FirstMatchMatcher m;

@@ -136,5 +136,79 @@ TEST(SimExecutor, NegativeDurationRejected) {
   EXPECT_THROW(exec.launch(make_job("t"), [](bool) {}), util::Error);
 }
 
+TEST(SimExecutor, InjectedHangsSwallowCompletions) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(5), 0.0);
+  exec.inject_hangs(2);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto job = make_job("t", 1.0);
+    job.id = static_cast<JobId>(i + 1);
+    exec.launch(job, [&](bool) { ++done; });
+  }
+  engine.run();
+  EXPECT_EQ(done, 3);  // first two launches hang forever
+  EXPECT_EQ(exec.hangs_injected(), 2);
+  EXPECT_TRUE(exec.is_hung(1));
+  EXPECT_TRUE(exec.is_hung(2));
+  EXPECT_FALSE(exec.is_hung(3));
+  EXPECT_EQ(exec.hung_jobs().size(), 2u);
+  exec.clear_hung(1);
+  EXPECT_FALSE(exec.is_hung(1));
+}
+
+TEST(SimExecutor, HangsDrawNoRandomness) {
+  // A hang must not consume RNG draws: the stream seen by later jobs is the
+  // same with and without a leading hang, keeping fault runs replayable.
+  auto durations_with = [](int hangs) {
+    event::SimEngine engine;
+    SimExecutor exec(engine, util::Rng(11), 0.0);
+    exec.inject_hangs(hangs);
+    std::vector<double> at;
+    for (int i = 0; i < 4 + hangs; ++i) {
+      auto job = make_job("t", 1.0);
+      job.id = static_cast<JobId>(i + 1);
+      exec.launch(job, [&, i](bool) { at.push_back(engine.now()); });
+    }
+    engine.run();
+    return at;
+  };
+  EXPECT_EQ(durations_with(0), durations_with(1));
+}
+
+TEST(SimExecutor, StragglersStretchDuration) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(7), 0.0);
+  exec.set_duration_model([](const Job&) { return 10.0; });
+  exec.inject_stragglers(1, 4.0);
+  std::vector<double> finished;
+  for (int i = 0; i < 2; ++i) {
+    auto job = make_job("t");
+    job.id = static_cast<JobId>(i + 1);
+    exec.launch(job, [&](bool) { finished.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(finished.size(), 2u);
+  EXPECT_DOUBLE_EQ(finished[0], 10.0);  // second launch: normal
+  EXPECT_DOUBLE_EQ(finished[1], 40.0);  // first launch: 4x straggler
+  EXPECT_EQ(exec.stragglers_injected(), 1);
+}
+
+TEST(SimExecutor, PoisonPredicateForcesFailure) {
+  event::SimEngine engine;
+  SimExecutor exec(engine, util::Rng(9), 0.0);
+  exec.set_poison(
+      [](const Job& job) { return job.spec.payload % 2 == 0; });
+  int failures = 0, successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto job = make_job("t", 1.0, static_cast<std::uint64_t>(i));
+    job.id = static_cast<JobId>(i + 1);
+    exec.launch(job, [&](bool ok) { ok ? ++successes : ++failures; });
+  }
+  engine.run();
+  EXPECT_EQ(failures, 5);
+  EXPECT_EQ(successes, 5);
+}
+
 }  // namespace
 }  // namespace mummi::sched

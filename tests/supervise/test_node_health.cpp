@@ -1,0 +1,118 @@
+// NodeHealthTracker: the drain → probation → canary → undrain state machine
+// over virtual time, with failure windows and probation backoff.
+#include "supervise/node_health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mummi {
+namespace {
+
+using supervise::NodeHealthConfig;
+using supervise::NodeHealthTracker;
+using supervise::NodeState;
+
+NodeHealthConfig small_cfg() {
+  NodeHealthConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.window_s = 100.0;
+  cfg.probation_s = 50.0;
+  cfg.backoff_factor = 2.0;
+  cfg.max_probation_s = 400.0;
+  return cfg;
+}
+
+TEST(NodeHealth, ThresholdWithinWindowTripsDrain) {
+  NodeHealthTracker health(4, small_cfg());
+  EXPECT_FALSE(health.record_failure(1, 0.0));
+  EXPECT_FALSE(health.record_failure(1, 10.0));
+  EXPECT_TRUE(health.record_failure(1, 20.0));  // third within 100 s
+  EXPECT_EQ(health.state(1), NodeState::kHealthy);  // caller transitions
+  health.mark_drained(1, 20.0);
+  EXPECT_EQ(health.state(1), NodeState::kDrained);
+  // Other nodes are untouched.
+  EXPECT_EQ(health.state(0), NodeState::kHealthy);
+}
+
+TEST(NodeHealth, OldFailuresAgeOutOfTheWindow) {
+  NodeHealthTracker health(2, small_cfg());
+  EXPECT_FALSE(health.record_failure(0, 0.0));
+  EXPECT_FALSE(health.record_failure(0, 10.0));
+  // 150 s later the first two failures left the 100 s window.
+  EXPECT_FALSE(health.record_failure(0, 150.0));
+  EXPECT_FALSE(health.record_failure(0, 160.0));
+  EXPECT_TRUE(health.record_failure(0, 170.0));
+}
+
+TEST(NodeHealth, ProbeDueAfterProbationAscendingOrder) {
+  NodeHealthTracker health(6, small_cfg());
+  health.mark_drained(5, 0.0);
+  health.mark_drained(2, 0.0);
+  EXPECT_TRUE(health.due_for_probe(49.0).empty());
+  EXPECT_EQ(health.due_for_probe(51.0), (std::vector<int>{2, 5}));
+  health.mark_probing(2);
+  EXPECT_EQ(health.state(2), NodeState::kProbing);
+  // A probing node is no longer due; node 5 still is.
+  EXPECT_EQ(health.due_for_probe(60.0), (std::vector<int>{5}));
+}
+
+TEST(NodeHealth, CanarySuccessRestoresCleanHealth) {
+  NodeHealthTracker health(2, small_cfg());
+  health.record_failure(0, 0.0);
+  health.record_failure(0, 1.0);
+  health.record_failure(0, 2.0);
+  health.mark_drained(0, 2.0);
+  health.mark_probing(0);
+  health.canary_result(0, /*ok=*/true, 60.0);
+  EXPECT_EQ(health.state(0), NodeState::kHealthy);
+  // The failure window was cleared: a fresh streak is needed to re-drain.
+  EXPECT_FALSE(health.record_failure(0, 61.0));
+  EXPECT_FALSE(health.record_failure(0, 62.0));
+  EXPECT_TRUE(health.record_failure(0, 63.0));
+}
+
+TEST(NodeHealth, CanaryFailureBacksOffProbationUpToCap) {
+  NodeHealthTracker health(1, small_cfg());
+  health.mark_drained(0, 0.0);  // probation 50 s -> due at 50
+  EXPECT_EQ(health.due_for_probe(50.0), (std::vector<int>{0}));
+  health.mark_probing(0);
+  health.canary_result(0, /*ok=*/false, 55.0);  // re-drained, 100 s probation
+  EXPECT_EQ(health.state(0), NodeState::kDrained);
+  EXPECT_TRUE(health.due_for_probe(154.0).empty());
+  EXPECT_EQ(health.due_for_probe(156.0), (std::vector<int>{0}));
+  health.mark_probing(0);
+  health.canary_result(0, false, 156.0);  // 200 s
+  health.mark_probing(0);                 // (not due yet, but force the probe)
+  health.canary_result(0, false, 356.0);  // 400 s = cap
+  health.mark_probing(0);
+  health.canary_result(0, false, 756.0);  // would be 800, capped at 400
+  EXPECT_TRUE(health.due_for_probe(756.0 + 399.0).empty());
+  EXPECT_EQ(health.due_for_probe(756.0 + 401.0), (std::vector<int>{0}));
+}
+
+TEST(NodeHealth, NodeCrashForgetsHistory) {
+  NodeHealthTracker health(2, small_cfg());
+  health.record_failure(1, 0.0);
+  health.record_failure(1, 1.0);
+  health.node_crashed(1);  // infrastructure fault, not the node's workload
+  EXPECT_EQ(health.state(1), NodeState::kHealthy);
+  EXPECT_FALSE(health.record_failure(1, 2.0));
+  EXPECT_FALSE(health.record_failure(1, 3.0));
+  EXPECT_TRUE(health.record_failure(1, 4.0));
+}
+
+TEST(NodeHealth, FailuresOnDrainedNodesDontRetrip) {
+  NodeHealthTracker health(1, small_cfg());
+  health.record_failure(0, 0.0);
+  health.record_failure(0, 1.0);
+  health.record_failure(0, 2.0);
+  health.mark_drained(0, 2.0);
+  // Straggler finishes from already-running jobs keep failing after the
+  // drain; they must not re-trip or reset the probation clock.
+  EXPECT_FALSE(health.record_failure(0, 3.0));
+  EXPECT_FALSE(health.record_failure(0, 4.0));
+  EXPECT_FALSE(health.record_failure(0, 5.0));
+  EXPECT_EQ(health.due_for_probe(52.0), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace mummi

@@ -41,6 +41,32 @@ TEST(JobTracker, ResubmitPolicyHonorsMaxRestarts) {
   EXPECT_FALSE(tracker.should_resubmit(job));
 }
 
+TEST(JobTracker, NodeKillsRetryWithoutConsumingTheBudget) {
+  // Attribution: a job killed by its node is infrastructure's fault, not the
+  // payload's — it always retries, even past max_restarts.
+  JobTracker tracker(cg_sim_config());
+  sched::Job job;
+  job.spec = tracker.make_spec(1);
+  job.state = sched::JobState::kFailed;
+  job.killed_by_node = true;
+  job.restarts = 0;
+  EXPECT_TRUE(tracker.should_resubmit(job));
+  job.restarts = 99;  // far past the budget
+  EXPECT_TRUE(tracker.should_resubmit(job));
+  // The same restart count with genuine failure attribution is refused.
+  job.killed_by_node = false;
+  EXPECT_FALSE(tracker.should_resubmit(job));
+}
+
+TEST(JobTracker, KilledByFaultCountsSeparatelyFromFailed) {
+  JobTracker tracker(cg_sim_config());
+  tracker.note_failed();
+  tracker.note_killed_by_fault();
+  tracker.note_killed_by_fault();
+  EXPECT_EQ(tracker.counters().failed, 1u);
+  EXPECT_EQ(tracker.counters().killed_by_fault, 2u);
+}
+
 TEST(JobTracker, CountersAccumulate) {
   JobTracker tracker(cg_sim_config());
   tracker.note_submitted();

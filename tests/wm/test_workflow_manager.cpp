@@ -305,6 +305,96 @@ TEST(JobTrackerBoundary, ExactlyMaxRestartsResubmissionsThenTerminal) {
   EXPECT_EQ(terminal_failures, 1);
 }
 
+TEST_F(WorkflowManagerTest, ShedLevelWithdrawsPendingAaAndRecovers) {
+  // Build a ready-AA buffer, then occupy almost every core with blockers so
+  // one of the submitted aa_sims is left pending.
+  ingest_frames(20);
+  wm_->maintain(100);
+  ASSERT_GT(complete_all("aa_setup"), 0);
+  const std::size_t ready_before = wm_->aa_ready();
+  ASSERT_GE(ready_before, 3u);
+  for (int n = 0; n < 2; ++n) {
+    sched::JobSpec blocker;
+    blocker.name = "blocker";
+    blocker.type = "blocker";  // no tracker: the WM ignores its lifecycle
+    blocker.request.slot = sched::Slot{40, 0};
+    scheduler_.submit(std::move(blocker));
+  }
+  scheduler_.pump();
+
+  wm_->maintain(100);  // 3 aa_sims submitted: one per node starts, one waits
+  EXPECT_EQ(wm_->running("aa_sim"), 2);
+  ASSERT_EQ(wm_->pending("aa_sim"), 1);
+
+  // Level 1 withdraws the pending sim; its payload returns to the front of
+  // the ready queue. Running work is never killed by shedding.
+  wm_->set_shed_level(1, 0.0);
+  EXPECT_EQ(wm_->pending("aa_sim"), 0);
+  EXPECT_EQ(wm_->running("aa_sim"), 2);
+  EXPECT_EQ(wm_->aa_ready(), ready_before - 3 + 1);
+
+  // While shed, maintain submits no AA work at all.
+  wm_->maintain(100);
+  EXPECT_EQ(wm_->pending("aa_sim"), 0);
+  EXPECT_EQ(wm_->aa_ready(), ready_before - 3 + 1);
+
+  // Recovery: the preserved queue resumes submission.
+  wm_->set_shed_level(0, 0.0);
+  wm_->maintain(100);
+  EXPECT_EQ(wm_->running("aa_sim") + wm_->pending("aa_sim"), 3);
+}
+
+TEST_F(WorkflowManagerTest, ShedLevelTwoStopsNewCgSetupsButSimsStillLaunch) {
+  ingest_patches(20);
+  wm_->maintain(100);
+  ASSERT_GT(complete_all("cg_setup"), 0);
+  ASSERT_GT(wm_->cg_ready(), 0u);
+
+  wm_->set_shed_level(2, 0.0);
+  wm_->maintain(100);
+  // Prepared sims still launch (finish what is ready)...
+  EXPECT_GT(wm_->running("cg_sim"), 0);
+  // ...but no new setups are started at level 2.
+  EXPECT_EQ(wm_->running("cg_setup") + wm_->pending("cg_setup"), 0);
+}
+
+TEST_F(WorkflowManagerTest, QuarantinedPayloadsAreNeverSubmitted) {
+  // 777 is quarantined; 778 is clean. Only 778 reaches the scheduler.
+  for (int i = 0; i < 3; ++i)
+    wm_->quarantine().strike("cg_setup", 777, supervise::StrikeKind::kFailure,
+                             static_cast<double>(i));
+  ASSERT_TRUE(wm_->quarantine().quarantined("cg_setup", 777));
+  wm_->requeue_setup("cg_setup", 777);
+  wm_->requeue_setup("cg_setup", 778);
+  wm_->maintain(100);
+  ASSERT_EQ(wm_->running("cg_setup"), 1);
+  for (const auto id : scheduler_.active_jobs()) {
+    const auto& job = scheduler_.job(id);
+    if (job.state == sched::JobState::kRunning)
+      EXPECT_EQ(job.spec.payload, 778u);
+  }
+}
+
+TEST_F(WorkflowManagerTest, QuarantineMakesFailuresTerminalDespiteBudget) {
+  ingest_patches(1);
+  wm_->maintain(100);
+  ASSERT_EQ(wm_->running("cg_setup"), 1);
+  std::uint64_t payload = 0;
+  for (const auto id : scheduler_.active_jobs())
+    if (scheduler_.job(id).state == sched::JobState::kRunning)
+      payload = scheduler_.job(id).spec.payload;
+
+  // The payload is quarantined while its job runs (e.g. its twin struck out
+  // elsewhere). Its failure is terminal even with restart budget left.
+  for (int i = 0; i < 3; ++i)
+    wm_->quarantine().strike("cg_setup", payload,
+                             supervise::StrikeKind::kHang,
+                             static_cast<double>(i));
+  complete_all("cg_setup", false);
+  EXPECT_EQ(wm_->running("cg_setup") + wm_->pending("cg_setup"), 0);
+  EXPECT_EQ(trackers_.tracker("cg_setup").counters().restarted, 0u);
+}
+
 TEST_F(WorkflowManagerTest, FullStateSerializeRestore) {
   ingest_patches(20);
   ingest_frames(10);
