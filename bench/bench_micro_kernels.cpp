@@ -1,8 +1,15 @@
 // google-benchmark micro-kernels: the hot loops behind the substrates.
 // Useful for regression-tracking the library itself (not a paper figure).
+//
+// `--md-kernels [--small]` switches to the MD force-engine thread sweep
+// instead: it runs the flat CSR kernel at 1/2/4/8 pool workers, checks the
+// bit-identity contract, and writes bench_outputs/md_kernels.json with wall
+// throughput plus a deterministic virtual-speedup model (bench_smoke.sh
+// validates the JSON; wall scaling is host-dependent and informational).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <filesystem>
 #include <unistd.h>
 
@@ -10,11 +17,14 @@
 #include "datastore/kv_cluster.hpp"
 #include "datastore/taridx.hpp"
 #include "mdengine/integrator.hpp"
+#include "mdengine/parallel_kernels.hpp"
 #include "mdengine/simulation.hpp"
 #include "ml/ann_index.hpp"
 #include "ml/fps_sampler.hpp"
+#include "util/clock.hpp"
 #include "util/npy.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace mummi;
 
@@ -166,6 +176,192 @@ void BM_FpsSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_FpsSelect);
 
+// --- MD force-engine thread sweep (--md-kernels) -------------------------
+
+/// The pre-refactor nonbonded kernel, kept here as the baseline: walks the
+/// flattened (i, j) pair view in order, looks parameters up through the
+/// bounds-checked accessor and recomputes the LJ cutoff shift per pair.
+double legacy_force_kernel(const md::TypeMatrixForceField& ff, md::System& s,
+                           const md::NeighborList& list) {
+  const md::real rc = ff.cutoff();
+  const md::real rc2 = rc * rc;
+  md::real energy = 0;
+  for (const auto& [i, j] : list.pairs()) {
+    const md::Vec3 d = s.box.min_image(s.pos[i], s.pos[j]);
+    const md::real r2 = d.norm2();
+    if (r2 >= rc2 || r2 == 0) continue;
+    const md::PairParams p = ff.pair(s.type[i], s.type[j]);
+    md::real f_over_r = 0;
+    if (p.epsilon > 0) {
+      const md::real s2 = p.sigma * p.sigma / r2;
+      const md::real s6 = s2 * s2 * s2;
+      const md::real s12 = s6 * s6;
+      const md::real sc2 = p.sigma * p.sigma / rc2;
+      const md::real sc6 = sc2 * sc2 * sc2;
+      energy += 4 * p.epsilon * (s12 - s6) - 4 * p.epsilon * (sc6 * sc6 - sc6);
+      f_over_r += 24 * p.epsilon * (2 * s12 - s6) / r2;
+    }
+    const md::Vec3 f = f_over_r * d;
+    s.force[static_cast<std::size_t>(i)] += f;
+    s.force[static_cast<std::size_t>(j)] -= f;
+  }
+  return energy;
+}
+
+/// Deterministic speedup model for the block schedule: per-block costs are
+/// the actual pair counts of the CSR rows in that block (plus the block's
+/// share of the reduction pass), greedily list-scheduled onto T workers in
+/// fixed block order. virtual_speedup = serial cost / makespan. Depends only
+/// on the list and T — same answer on any host.
+double virtual_speedup(const md::NeighborList& list, std::size_t n,
+                       int threads) {
+  const std::size_t block = md::detail::kernel_block(n);
+  const std::size_t nblocks = md::detail::kernel_blocks(n);
+  const auto& row_start = list.row_start();
+  std::vector<double> cost(nblocks, 0.0);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(lo + block, n);
+    // Kernel: one pair walk per row; reduction: nblocks buffer adds per
+    // particle of the block, far cheaper per item than a pair interaction.
+    cost[b] = static_cast<double>(row_start[hi] - row_start[lo]) +
+              0.05 * static_cast<double>(nblocks) *
+                  static_cast<double>(hi - lo);
+  }
+  double serial = 0.0;
+  for (const double c : cost) serial += c;
+  std::vector<double> worker(static_cast<std::size_t>(threads), 0.0);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    auto least = std::min_element(worker.begin(), worker.end());
+    *least += cost[b];
+  }
+  const double makespan = *std::max_element(worker.begin(), worker.end());
+  return makespan > 0 ? serial / makespan : 1.0;
+}
+
+int run_md_kernels(bool small) {
+  const int n = small ? 4000 : 20000;
+  const int reps = small ? 5 : 20;
+  md::System ref = make_fluid(n, std::cbrt(n / 8.0) * 1.2, 11);
+  md::TypeMatrixForceField ff(1, 1.2);
+  ff.set_pair(0, 0, {2.0, 0.47});
+
+  md::NeighborList list(1.2, 0.3);
+  list.build(ref);
+  const std::size_t pairs = list.n_pairs();
+  const std::size_t nblocks = md::detail::kernel_blocks(ref.size());
+  std::printf("=== MD force kernel: thread sweep ===\n");
+  std::printf("(n=%d, %zu pairs, %zu blocks, %d reps%s)\n\n", n, pairs,
+              nblocks, reps, small ? ", --small" : "");
+
+  // Serial reference forces: the bit-identity yardstick for every row.
+  std::fill(ref.force.begin(), ref.force.end(), md::Vec3{});
+  const double e_ref = ff.compute(ref, list, nullptr);
+  const std::vector<md::Vec3> f_ref = ref.force;
+
+  // Legacy-kernel baseline (serial by construction).
+  double legacy_s = 0.0;
+  {
+    md::System s = make_fluid(n, std::cbrt(n / 8.0) * 1.2, 11);
+    util::Stopwatch wall;
+    double e = 0;
+    for (int r = 0; r < reps; ++r) {
+      std::fill(s.force.begin(), s.force.end(), md::Vec3{});
+      e = legacy_force_kernel(ff, s, list);
+    }
+    legacy_s = wall.elapsed() / reps;
+    benchmark::DoNotOptimize(e);
+  }
+
+  struct Row {
+    int threads;
+    double wall_s, wall_pairs_per_s, virt;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  double flat_serial_s = 0.0;
+  std::printf("%8s %12s %16s %14s %10s\n", "threads", "wall s/eval",
+              "wall pairs/s", "virt speedup", "identical");
+  for (const int threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(static_cast<std::size_t>(threads));
+    // A 1-worker pool takes the inline path; pass null to make that explicit.
+    util::ThreadPool* p = threads > 1 ? &pool : nullptr;
+    md::System s = make_fluid(n, std::cbrt(n / 8.0) * 1.2, 11);
+    double e = 0;
+    // Warm-up evaluation: first call sizes the scratch buffers.
+    std::fill(s.force.begin(), s.force.end(), md::Vec3{});
+    e = ff.compute(s, list, p);
+    util::Stopwatch wall;
+    for (int r = 0; r < reps; ++r) {
+      std::fill(s.force.begin(), s.force.end(), md::Vec3{});
+      e = ff.compute(s, list, p);
+    }
+    const double per_eval = wall.elapsed() / reps;
+    if (threads == 1) flat_serial_s = per_eval;
+    const bool identical =
+        e == e_ref && s.force.size() == f_ref.size() &&
+        std::memcmp(s.force.data(), f_ref.data(),
+                    f_ref.size() * sizeof(md::Vec3)) == 0;
+    const double virt = virtual_speedup(list, ref.size(), threads);
+    const double pps =
+        per_eval > 0 ? static_cast<double>(pairs) / per_eval : 0.0;
+    std::printf("%8d %12.6f %16.0f %14.2f %10s\n", threads, per_eval, pps,
+                virt, identical ? "yes" : "NO");
+    rows.push_back({threads, per_eval, pps, virt, identical});
+  }
+  std::printf("\nlegacy pair-order kernel: %.6f s/eval (flat serial %.6f, "
+              "%.2fx)\n",
+              legacy_s, flat_serial_s,
+              flat_serial_s > 0 ? legacy_s / flat_serial_s : 0.0);
+
+  std::filesystem::create_directories("bench_outputs");
+  std::FILE* f = std::fopen("bench_outputs/md_kernels.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write bench_outputs/md_kernels.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"md_kernels\",\n  \"n\": %d,\n"
+               "  \"pairs\": %zu,\n  \"blocks\": %zu,\n"
+               "  \"legacy_wall_s_per_eval\": %.9f,\n"
+               "  \"flat_serial_wall_s_per_eval\": %.9f,\n"
+               "  \"flat_vs_legacy_wall_speedup\": %.3f,\n  \"rows\": [\n",
+               n, pairs, nblocks, legacy_s, flat_serial_s,
+               flat_serial_s > 0 ? legacy_s / flat_serial_s : 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"wall_s_per_eval\": %.9f, "
+                 "\"wall_pairs_per_s\": %.1f, \"virtual_speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 r.threads, r.wall_s, r.wall_pairs_per_s, r.virt,
+                 r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote bench_outputs/md_kernels.json\n");
+  for (const Row& r : rows)
+    if (!r.identical) {
+      std::fprintf(stderr, "md_kernels: forces diverged at %d threads\n",
+                   r.threads);
+      return 1;
+    }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool md_kernels = false, small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--md-kernels") == 0) md_kernels = true;
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+  if (md_kernels) return run_md_kernels(small);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

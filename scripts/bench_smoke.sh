@@ -210,4 +210,39 @@ EOF
 }
 check_kv_concurrency
 
+# MD force-engine contract: the thread sweep must produce bit-identical
+# forces/energy at every pool size (rows carry an "identical" flag computed
+# against the serial reference), the deterministic block-schedule model must
+# reach >= 3x at 8 threads, and wall throughput must be positive (its scaling
+# is host-dependent and not checked).
+run_bench bench_micro_kernels md_kernels.json --md-kernels --small
+check_md_kernels() {
+  local path="bench_outputs/md_kernels.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc.get("rows")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'rows' must be a non-empty list")
+threads = sorted(r["threads"] for r in rows)
+if threads != [1, 2, 4, 8]:
+    sys.exit(f"{sys.argv[1]}: expected a 1/2/4/8 thread sweep, got {threads}")
+for r in rows:
+    if not r.get("identical"):
+        sys.exit(f"{sys.argv[1]}: forces diverged from serial: {r}")
+    if r.get("wall_pairs_per_s", 0.0) <= 0.0:
+        sys.exit(f"{sys.argv[1]}: non-positive wall throughput: {r}")
+eight = [r for r in rows if r["threads"] == 8][0]
+if eight.get("virtual_speedup", 0.0) < 3.0:
+    sys.exit(f"{sys.argv[1]}: virtual speedup at 8 threads below 3x: {eight}")
+EOF
+  else
+    grep -q '"identical": true' "$path" && ! grep -q '"identical": false' "$path"
+  fi
+  echo "    $path md kernel contract OK"
+}
+check_md_kernels
+
 echo "=== bench smoke: PASS ==="

@@ -65,4 +65,12 @@ echo "=== tier 1: TSan build, supervision plane tests ==="
 ./build-tsan/tests/mummi_tests \
   --gtest_filter='*Watchdog*:*Specul*:*Quarantine*:*NodeHealth*:*Supervis*'
 
+echo "=== tier 1: TSan build, threaded MD engine tests ==="
+# The MD force engine scatters into per-block buffers from pool workers and
+# folds them on the caller; the neighbor build fills CSR rows the same way.
+# The determinism suite drives those paths at 2 and 8 workers — any cross-
+# block write or unsynchronized scratch access shows up here.
+./build-tsan/tests/mummi_tests \
+  --gtest_filter='*ParallelMd*:*NveDrift*'
+
 echo "=== tier 1: PASS ==="

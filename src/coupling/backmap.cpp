@@ -75,6 +75,7 @@ AaSystemInfo Backmapper::build(const CgSystemInfo& cg, util::Rng& rng) const {
   auto ff = make_aa_forcefield();
   md::SimulationConfig sim_cfg;
   sim_cfg.dt = config_.dt;
+  sim_cfg.pool = config_.pool;  // threads minimization + restrained MD
   md::Simulation relax(std::move(aa), ff,
                        std::make_unique<md::Langevin>(config_.temperature,
                                                       2.0, rng.split()),

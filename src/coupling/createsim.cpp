@@ -160,6 +160,7 @@ CgSystemInfo CreateSim::build(const Patch& patch, util::Rng& rng) const {
   {
     md::SimulationConfig sim_cfg;
     sim_cfg.dt = config_.dt;
+    sim_cfg.pool = config_.pool;  // threads relaxation of fresh CG systems
     md::Simulation relax(std::move(system), ff,
                          std::make_unique<md::Langevin>(
                              config_.temperature, 1.0, rng.split()),

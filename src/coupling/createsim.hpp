@@ -19,6 +19,10 @@
 #include "mdengine/system.hpp"
 #include "util/rng.hpp"
 
+namespace mummi::util {
+class ThreadPool;
+}  // namespace mummi::util
+
 namespace mummi::coupling {
 
 /// Bead-type layout for a CG membrane with S lipid species:
@@ -42,6 +46,7 @@ struct CgBuildConfig {
   int relax_steps = 100;         // short thermostatted equilibration
   double temperature = 310.0;    // K
   double dt = 0.02;              // ps
+  util::ThreadPool* pool = nullptr;  // MD engine pool (null: MUMMI_POOL_SIZE)
 };
 
 /// A built CG system plus the index bookkeeping the in-situ analysis needs.

@@ -1,9 +1,13 @@
-// Linked-cell binning and Verlet neighbor lists.
+// Linked-cell binning and Verlet neighbor lists, flat-memory edition.
 //
-// Standard O(N) pair-search machinery: particles are binned into cells of at
-// least the interaction range, candidate pairs come from a forward half
-// stencil so each cell pair is visited once, and a skin buffer lets the
-// Verlet list survive several steps between rebuilds.
+// Standard O(N) pair-search machinery with a layout built for the parallel
+// force kernel: particles are binned into a CSR cell table (per-cell ranges
+// over one flat item array, ascending particle id within each cell), and the
+// Verlet list is a CSR half list — per-particle neighbor ranges over one
+// flat j array, each row sorted ascending. Row contents are a pure function
+// of the system, so builds parallelize over particle blocks without changing
+// a single bit of the result. A skin buffer lets the list survive several
+// steps between rebuilds; all storage is reused across rebuilds.
 #pragma once
 
 #include <cstddef>
@@ -12,44 +16,41 @@
 
 #include "mdengine/system.hpp"
 
+namespace mummi::util {
+class ThreadPool;
+}  // namespace mummi::util
+
 namespace mummi::md {
 
 class CellList {
  public:
   /// Bins all particles; `range` is the minimum cell edge (cutoff + skin).
-  void build(const System& system, real range);
+  /// Cell assignment is computed per particle in parallel blocks (pure
+  /// per-i work); the CSR fill is a short serial pass so items stay in
+  /// ascending id order regardless of worker count.
+  void build(const System& system, real range,
+             util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] int n_cells() const { return nx_ * ny_ * nz_; }
 
-  /// Visits a superset of all unordered particle pairs within `range`;
-  /// `fn(i, j)` is called with i < j, each pair exactly once. Falls back to
-  /// all-pairs when the box is too small for a 3x3x3 stencil (periodic
-  /// wrap-around would double-count cells there).
-  template <typename Fn>
-  void for_each_pair(Fn&& fn) const {
-    const int n = static_cast<int>(next_.size());
-    if (nx_ < 3 || ny_ < 3 || nz_ < 3) {
-      for (int i = 0; i < n; ++i)
-        for (int j = i + 1; j < n; ++j) fn(i, j);
-      return;
-    }
-    for (int cz = 0; cz < nz_; ++cz)
-      for (int cy = 0; cy < ny_; ++cy)
-        for (int cx = 0; cx < nx_; ++cx) {
-          const int c = cell_index(cx, cy, cz);
-          for (int i = head_[c]; i >= 0; i = next_[i])
-            for (int j = next_[i]; j >= 0; j = next_[j])
-              fn(i < j ? i : j, i < j ? j : i);
-          for (const auto& offset : kForwardStencil) {
-            const int nc =
-                cell_index(wrap(cx + offset[0], nx_), wrap(cy + offset[1], ny_),
-                           wrap(cz + offset[2], nz_));
-            for (int i = head_[c]; i >= 0; i = next_[i])
-              for (int j = head_[nc]; j >= 0; j = next_[j])
-                fn(i < j ? i : j, i < j ? j : i);
-          }
-        }
+  /// True when every dimension has >= 3 cells, i.e. the 27-cell stencil
+  /// visits each neighboring cell exactly once. Callers must fall back to
+  /// all-pairs otherwise (periodic wrap-around would double-count cells).
+  [[nodiscard]] bool stencil_ok() const {
+    return nx_ >= 3 && ny_ >= 3 && nz_ >= 3;
   }
+
+  [[nodiscard]] int cell_of(std::size_t i) const { return cell_of_[i]; }
+
+  /// CSR ranges: cell c holds items()[cell_start()[c] .. cell_start()[c+1]).
+  [[nodiscard]] const std::vector<int>& cell_start() const {
+    return cell_start_;
+  }
+  [[nodiscard]] const std::vector<int>& items() const { return items_; }
+
+  /// Writes the 27 wrapped stencil cells of `c` (self included) in a fixed
+  /// order; returns the count. Only valid when stencil_ok().
+  int neighbor_cells(int c, int out[27]) const;
 
  private:
   static int wrap(int c, int n) { return (c % n + n) % n; }
@@ -57,40 +58,71 @@ class CellList {
     return (cz * ny_ + cy) * nx_ + cx;
   }
 
-  static constexpr int kForwardStencil[13][3] = {
-      {1, 0, 0},  {0, 1, 0},  {1, 1, 0},  {-1, 1, 0}, {0, 0, 1},
-      {1, 0, 1},  {-1, 0, 1}, {0, 1, 1},  {1, 1, 1},  {-1, 1, 1},
-      {0, -1, 1}, {1, -1, 1}, {-1, -1, 1}};
-
   int nx_ = 0, ny_ = 0, nz_ = 0;
-  std::vector<int> head_;
-  std::vector<int> next_;
+  std::vector<int> cell_of_;     // particle -> cell
+  std::vector<int> cell_start_;  // n_cells + 1
+  std::vector<int> items_;       // particle ids, ascending within each cell
+  std::vector<int> cursor_;      // fill cursors, reused across builds
 };
 
-/// Half (i<j) Verlet pair list with a skin; tracks displacement since the
-/// last build to decide when a rebuild is due.
+/// Half (i<j) Verlet list in CSR form: row i spans
+/// [row_start()[i], row_start()[i+1]) of neighbors(), each row sorted
+/// ascending — a canonical order independent of cell geometry and worker
+/// count. Tracks displacement since the last build to decide when a rebuild
+/// is due. Row scratch, the flat j array and reference positions are all
+/// reused across rebuilds (no steady-state allocation).
 class NeighborList {
  public:
   NeighborList(real cutoff, real skin) : cutoff_(cutoff), skin_(skin) {}
 
-  /// Rebuilds from scratch.
-  void build(const System& system);
+  /// Rebuilds from scratch; parallel over particle blocks when a pool is
+  /// given, bit-identical to the serial build either way.
+  void build(const System& system, util::ThreadPool* pool = nullptr);
 
   /// True when any particle moved more than skin/2 since the last build
-  /// (or the list was never built).
-  [[nodiscard]] bool needs_rebuild(const System& system) const;
+  /// (or the list was never built). The displacement scan runs in parallel
+  /// blocks when a pool is given.
+  [[nodiscard]] bool needs_rebuild(const System& system,
+                                   util::ThreadPool* pool = nullptr) const;
 
-  [[nodiscard]] const std::vector<std::pair<int, int>>& pairs() const {
-    return pairs_;
+  /// CSR accessors: row i of neighbors() holds every j > i within
+  /// cutoff + skin of particle i, sorted ascending.
+  [[nodiscard]] const std::vector<std::size_t>& row_start() const {
+    return row_start_;
   }
+  [[nodiscard]] const std::vector<int>& neighbors() const { return nbr_; }
+  [[nodiscard]] std::size_t n_pairs() const { return nbr_.size(); }
+  [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+
+  /// Fill statistics of the current list, for telemetry and tuning.
+  struct FillStats {
+    std::size_t rebuilds = 0;   // lifetime builds of this list
+    std::size_t pairs = 0;      // half pairs in the current list
+    std::size_t cells = 0;      // cells at the last build
+    std::size_t max_row = 0;    // longest neighbor row
+    double avg_row = 0;         // pairs / rows
+  };
+  [[nodiscard]] FillStats fill_stats() const;
+
+  /// Compatibility view: the rows flattened to (i, j) pairs in canonical
+  /// order (i ascending, j ascending within i). Materialized lazily and
+  /// cached until the next build; intended for tests, reference kernels and
+  /// tools, not the hot path. Not safe to call concurrently with itself.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& pairs() const;
+
   [[nodiscard]] real cutoff() const { return cutoff_; }
 
  private:
   real cutoff_;
   real skin_;
   CellList cells_;
-  std::vector<std::pair<int, int>> pairs_;
+  std::vector<std::size_t> row_start_;
+  std::vector<int> nbr_;
+  std::vector<std::vector<int>> scratch_;  // per-block rows, capacity reused
   std::vector<Vec3> ref_pos_;
+  std::size_t rebuilds_ = 0;
+  mutable std::vector<std::pair<int, int>> pairs_compat_;
+  mutable bool pairs_valid_ = false;
 };
 
 }  // namespace mummi::md

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mdengine/parallel_kernels.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace mummi::md {
@@ -13,11 +15,17 @@ constexpr real kCoulomb = 138.935458;
 }  // namespace
 
 TypeMatrixForceField::TypeMatrixForceField(int n_types, real cutoff)
-    : n_types_(n_types), cutoff_(cutoff) {
+    : n_types_(n_types), cutoff_(cutoff), coul_pre_(kCoulomb / eps_r_) {
   MUMMI_CHECK_MSG(n_types > 0, "need at least one particle type");
   MUMMI_CHECK_MSG(cutoff > 0, "cutoff must be positive");
-  table_.resize(static_cast<std::size_t>(n_types) *
-                static_cast<std::size_t>(n_types));
+  const auto cells = static_cast<std::size_t>(n_types) *
+                     static_cast<std::size_t>(n_types);
+  table_.resize(cells);
+  c12_.assign(cells, 0);
+  c6_.assign(cells, 0);
+  shift_.assign(cells, 0);
+  f12_.assign(cells, 0);
+  f6_.assign(cells, 0);
 }
 
 std::size_t TypeMatrixForceField::index(int a, int b) const {
@@ -28,88 +36,205 @@ std::size_t TypeMatrixForceField::index(int a, int b) const {
 }
 
 void TypeMatrixForceField::set_pair(int a, int b, PairParams params) {
-  table_[index(a, b)] = params;
-  table_[index(b, a)] = params;
+  const real s2 = params.sigma * params.sigma;
+  const real s6 = s2 * s2 * s2;
+  const real c6 = 4 * params.epsilon * s6;
+  const real c12 = c6 * s6;
+  const real irc2 = 1 / (cutoff_ * cutoff_);
+  const real irc6 = irc2 * irc2 * irc2;
+  // Same factorization the kernel uses, so V(cutoff) cancels to ~epsilon.
+  const real shift = (c12 * irc6 - c6) * irc6;
+  for (const std::size_t t : {index(a, b), index(b, a)}) {
+    table_[t] = params;
+    c12_[t] = c12;
+    c6_[t] = c6;
+    shift_[t] = shift;
+    f12_[t] = 12 * c12;
+    f6_[t] = 6 * c6;
+  }
 }
 
 PairParams TypeMatrixForceField::pair(int a, int b) const {
   return table_[index(a, b)];
 }
 
-real TypeMatrixForceField::compute(System& system,
-                                   const NeighborList& neighbors) const {
-  const real rc2 = cutoff_ * cutoff_;
-  real energy = 0;
-  for (const auto& [i, j] : neighbors.pairs()) {
-    const Vec3 d = system.box.min_image(system.pos[i], system.pos[j]);
-    const real r2 = d.norm2();
-    if (r2 >= rc2 || r2 == 0) continue;
-    const PairParams& p = table_[index(system.type[i], system.type[j])];
-    real f_over_r = 0;
-
-    if (p.epsilon > 0) {
-      const real s2 = p.sigma * p.sigma / r2;
-      const real s6 = s2 * s2 * s2;
-      const real s12 = s6 * s6;
-      // Energy-shifted LJ: V(r) - V(rc).
-      const real sc2 = p.sigma * p.sigma / rc2;
-      const real sc6 = sc2 * sc2 * sc2;
-      const real shift = 4 * p.epsilon * (sc6 * sc6 - sc6);
-      energy += 4 * p.epsilon * (s12 - s6) - shift;
-      f_over_r += 24 * p.epsilon * (2 * s12 - s6) / r2;
-    }
-
-    const real qq = system.charge[i] * system.charge[j];
-    if (qq != 0) {
-      const real r = std::sqrt(r2);
-      const real pre = kCoulomb / eps_r_;
-      // Straight-cutoff Coulomb shifted to zero at rc.
-      energy += pre * qq * (1 / r - 1 / cutoff_);
-      f_over_r += pre * qq / (r2 * r);
-    }
-
-    const Vec3 f = f_over_r * d;
-    system.force[i] += f;
-    system.force[j] -= f;
-  }
-  return energy;
+void TypeMatrixForceField::set_dielectric(real eps_r) {
+  MUMMI_CHECK_MSG(eps_r > 0, "relative dielectric must be positive");
+  eps_r_ = eps_r;
+  coul_pre_ = kCoulomb / eps_r;
 }
 
-real compute_bonded(System& system) {
-  real energy = 0;
-  for (const auto& bond : system.bonds) {
-    const Vec3 d = system.box.min_image(system.pos[bond.i], system.pos[bond.j]);
-    const real r = d.norm();
-    if (r == 0) continue;
-    const real dr = r - bond.r0;
-    energy += 0.5 * bond.k * dr * dr;
-    const Vec3 f = (-bond.k * dr / r) * d;
-    system.force[bond.i] += f;
-    system.force[bond.j] -= f;
+real TypeMatrixForceField::compute(System& system,
+                                   const NeighborList& neighbors,
+                                   util::ThreadPool* pool) const {
+  const std::size_t n = system.size();
+  if (n == 0) return 0;
+  MUMMI_CHECK_MSG(neighbors.row_start().size() == n + 1,
+                  "neighbor list was built for a different system");
+
+  // Validate the whole type array once per call (the old kernel
+  // bounds-checked every pair); the inner loop indexes unchecked, with a
+  // debug-only assert to catch types mutated mid-step.
+  const int* type = system.type.data();
+  {
+    const auto nt = static_cast<unsigned>(n_types_);
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i)
+      ok &= static_cast<unsigned>(type[i]) < nt;
+    MUMMI_CHECK_MSG(ok, "system.type contains an out-of-range species index");
   }
-  for (const auto& angle : system.angles) {
-    const Vec3 rij = system.box.min_image(system.pos[angle.i], system.pos[angle.j]);
-    const Vec3 rkj = system.box.min_image(system.pos[angle.k], system.pos[angle.j]);
-    const real nij = rij.norm();
-    const real nkj = rkj.norm();
-    if (nij == 0 || nkj == 0) continue;
-    real cos_t = rij.dot(rkj) / (nij * nkj);
-    cos_t = std::clamp(cos_t, static_cast<real>(-1), static_cast<real>(1));
-    const real theta = std::acos(cos_t);
-    const real dtheta = theta - angle.theta0;
-    energy += 0.5 * angle.ktheta * dtheta * dtheta;
-    // force_i = -dV/dtheta * dtheta/dr_i; dtheta/dcos = -1/sin(theta), so the
-    // two minus signs cancel. Guard sin ~ 0 at collinear geometries.
-    const real sin_t = std::sqrt(std::max(static_cast<real>(1e-12),
-                                          1 - cos_t * cos_t));
-    const real coeff = angle.ktheta * dtheta / sin_t;
-    const Vec3 di = (1 / nij) * ((1 / nkj) * rkj - (cos_t / nij) * rij);
-    const Vec3 dk = (1 / nkj) * ((1 / nij) * rij - (cos_t / nkj) * rkj);
-    system.force[angle.i] += coeff * di;
-    system.force[angle.k] += coeff * dk;
-    system.force[angle.j] -= coeff * (di + dk);
-  }
-  return energy;
+
+  const auto& row_start = neighbors.row_start();
+  const int* nbr = neighbors.neighbors().data();
+  const real rc2 = cutoff_ * cutoff_;
+  const real inv_rc = 1 / cutoff_;
+  const real pre = coul_pre_;
+  const Box box = system.box;
+  const Vec3* pos = system.pos.data();
+  const real* charge = system.charge.data();
+  const real* c12t = c12_.data();
+  const real* c6t = c6_.data();
+  const real* shiftt = shift_.data();
+  const real* f12t = f12_.data();
+  const real* f6t = f6_.data();
+  const auto ntypes = static_cast<std::size_t>(n_types_);
+
+  const std::size_t block = detail::kernel_block(n);
+  const std::size_t nblocks = detail::kernel_blocks(n);
+  // One scratch per *calling* thread, bound through a local reference so the
+  // block lambda captures this thread's instance — pool workers referencing
+  // the thread_local directly would each see their own (empty) scratch.
+  static thread_local detail::ForceScratch scratch_tls;
+  detail::ForceScratch& scratch = scratch_tls;
+  scratch.reset(nblocks, n, nblocks);
+
+  detail::for_blocks(pool, n, block, [&](std::size_t begin, std::size_t end) {
+    const std::size_t b = begin / block;
+    Vec3* f = scratch.force(b);
+    real energy = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vec3 pi = pos[i];
+      const real qi = charge[i];
+      const std::size_t base = static_cast<std::size_t>(type[i]) * ntypes;
+      Vec3 fi{};
+      for (std::size_t k = row_start[i]; k < row_start[i + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(nbr[k]);
+        MUMMI_DEBUG_ASSERT(static_cast<unsigned>(type[j]) <
+                               static_cast<unsigned>(n_types_),
+                           "type index out of range");
+        const Vec3 d = box.min_image(pi, pos[j]);
+        const real r2 = d.norm2();
+        if (r2 >= rc2 || r2 == 0) continue;
+        const std::size_t t = base + static_cast<std::size_t>(type[j]);
+        real f_over_r = 0;
+
+        const real c12 = c12t[t];
+        if (c12 != 0) {
+          const real ir2 = 1 / r2;
+          const real ir6 = ir2 * ir2 * ir2;
+          energy += (c12 * ir6 - c6t[t]) * ir6 - shiftt[t];
+          f_over_r += (f12t[t] * ir6 - f6t[t]) * ir6 * ir2;
+        }
+
+        const real qq = qi * charge[j];
+        if (qq != 0) {
+          const real r = std::sqrt(r2);
+          energy += pre * qq * (1 / r - inv_rc);
+          f_over_r += pre * qq / (r2 * r);
+        }
+
+        const Vec3 fv = f_over_r * d;
+        fi += fv;
+        f[j] -= fv;
+      }
+      f[i] += fi;
+    }
+    scratch.energy(b) = energy;
+  });
+
+  scratch.reduce_and_clear(system.force, pool);
+  static obs::Counter& pair_counter = obs::counter("md.force.pairs");
+  pair_counter.inc(neighbors.n_pairs());
+  return scratch.energy_sum();
+}
+
+real compute_bonded(System& system, util::ThreadPool* pool) {
+  const std::size_t nbonds = system.bonds.size();
+  const std::size_t nangles = system.angles.size();
+  if (nbonds + nangles == 0) return 0;
+  const std::size_t n = system.size();
+  const std::size_t bond_block = detail::kernel_block(nbonds);
+  const std::size_t nb_bonds = detail::kernel_blocks(nbonds);
+  const std::size_t angle_block = detail::kernel_block(nangles);
+  const std::size_t nb_angles = detail::kernel_blocks(nangles);
+
+  static thread_local detail::ForceScratch scratch_tls;
+  detail::ForceScratch& scratch = scratch_tls;  // see compute(): capture the
+                                                // caller's instance, not the
+                                                // workers' thread_locals
+  scratch.reset(std::max(nb_bonds, nb_angles), n, nb_bonds + nb_angles);
+  const Box box = system.box;
+  const Vec3* pos = system.pos.data();
+
+  // Bond blocks, then angle blocks on top of the same buffers (the passes
+  // are separated by a join, and block b always lands in buffer b) — one
+  // fixed-order reduction covers both terms.
+  detail::for_blocks(
+      pool, nbonds, bond_block, [&](std::size_t begin, std::size_t end) {
+        const std::size_t b = begin / bond_block;
+        Vec3* f = scratch.force(b);
+        real energy = 0;
+        for (std::size_t k = begin; k < end; ++k) {
+          const Bond& bond = system.bonds[k];
+          const Vec3 d = box.min_image(pos[bond.i], pos[bond.j]);
+          const real r = d.norm();
+          if (r == 0) continue;
+          const real dr = r - bond.r0;
+          energy += 0.5 * bond.k * dr * dr;
+          const Vec3 fv = (-bond.k * dr / r) * d;
+          f[bond.i] += fv;
+          f[bond.j] -= fv;
+        }
+        scratch.energy(b) = energy;
+      });
+
+  detail::for_blocks(
+      pool, nangles, angle_block, [&](std::size_t begin, std::size_t end) {
+        const std::size_t b = begin / angle_block;
+        Vec3* f = scratch.force(b);
+        real energy = 0;
+        for (std::size_t k = begin; k < end; ++k) {
+          const Angle& angle = system.angles[k];
+          const Vec3 rij = box.min_image(pos[angle.i], pos[angle.j]);
+          const Vec3 rkj = box.min_image(pos[angle.k], pos[angle.j]);
+          const real nij = rij.norm();
+          const real nkj = rkj.norm();
+          if (nij == 0 || nkj == 0) continue;
+          real cos_t = rij.dot(rkj) / (nij * nkj);
+          cos_t = std::clamp(cos_t, static_cast<real>(-1),
+                             static_cast<real>(1));
+          const real theta = std::acos(cos_t);
+          const real dtheta = theta - angle.theta0;
+          energy += 0.5 * angle.ktheta * dtheta * dtheta;
+          // force_i = -dV/dtheta * dtheta/dr_i; dtheta/dcos = -1/sin(theta),
+          // so the two minus signs cancel. Guard sin ~ 0 at collinear
+          // geometries.
+          const real sin_t = std::sqrt(
+              std::max(static_cast<real>(1e-12), 1 - cos_t * cos_t));
+          const real coeff = angle.ktheta * dtheta / sin_t;
+          const Vec3 di =
+              (1 / nij) * ((1 / nkj) * rkj - (cos_t / nij) * rij);
+          const Vec3 dk =
+              (1 / nkj) * ((1 / nij) * rij - (cos_t / nkj) * rkj);
+          f[angle.i] += coeff * di;
+          f[angle.k] += coeff * dk;
+          f[angle.j] -= coeff * (di + dk);
+        }
+        scratch.energy(nb_bonds + b) = energy;
+      });
+
+  scratch.reduce_and_clear(system.force, pool);
+  return scratch.energy_sum();
 }
 
 real Restraints::compute(System& system) const {

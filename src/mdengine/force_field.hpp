@@ -5,6 +5,13 @@
 // plus screened electrostatics — the same functional forms Martini uses.
 // The AA scale reuses the machinery at smaller sigma/timestep after
 // backmapping (standing in for CHARMM36/AMBER).
+//
+// The nonbonded hot path is a flat, thread-parallel engine: interaction
+// constants (c12, c6, the cutoff shift, force prefactors) are precomputed
+// per type pair when parameters are set, the kernel walks the neighbor
+// list's CSR rows in fixed particle blocks, and per-block force/energy
+// partials are reduced in ascending block order — so results are
+// bit-identical at any thread count (see DESIGN.md 4h).
 #pragma once
 
 #include <memory>
@@ -12,6 +19,10 @@
 
 #include "mdengine/cell_list.hpp"
 #include "mdengine/system.hpp"
+
+namespace mummi::util {
+class ThreadPool;
+}  // namespace mummi::util
 
 namespace mummi::md {
 
@@ -26,8 +37,10 @@ class ForceField {
   virtual ~ForceField() = default;
 
   /// Accumulates pair forces into system.force (which the caller zeroed)
-  /// and returns the potential energy.
-  virtual real compute(System& system, const NeighborList& neighbors) const = 0;
+  /// and returns the potential energy. A null pool runs serially; any pool
+  /// produces bit-identical output.
+  virtual real compute(System& system, const NeighborList& neighbors,
+                       util::ThreadPool* pool = nullptr) const = 0;
 
   /// Interaction range (nm) the neighbor list must cover.
   [[nodiscard]] virtual real cutoff() const = 0;
@@ -36,20 +49,28 @@ class ForceField {
 /// Symmetric type-matrix LJ with energy shifted to zero at the cutoff, plus
 /// optional screened Coulomb (Martini's straight-cutoff, epsilon_r-screened
 /// electrostatics).
+///
+/// compute() reuses per-thread scratch buffers internally; concurrent calls
+/// from different threads are safe (each caller thread owns its scratch),
+/// and a pool passed in only ever executes disjoint blocks.
 class TypeMatrixForceField final : public ForceField {
  public:
   TypeMatrixForceField(int n_types, real cutoff);
 
-  /// Sets interaction parameters for an unordered type pair.
+  /// Sets interaction parameters for an unordered type pair and refreshes
+  /// the precomputed interaction table entries (c12 = 4 eps sigma^12,
+  /// c6 = 4 eps sigma^6, the cutoff energy shift, force prefactors).
   void set_pair(int a, int b, PairParams params);
   [[nodiscard]] PairParams pair(int a, int b) const;
 
-  /// Relative dielectric for charge-charge terms (Martini: 15).
-  void set_dielectric(real eps_r) { eps_r_ = eps_r; }
+  /// Relative dielectric for charge-charge terms (Martini: 15). Refreshes
+  /// the precomputed Coulomb prefactor.
+  void set_dielectric(real eps_r);
 
   [[nodiscard]] int n_types() const { return n_types_; }
 
-  real compute(System& system, const NeighborList& neighbors) const override;
+  real compute(System& system, const NeighborList& neighbors,
+               util::ThreadPool* pool = nullptr) const override;
   [[nodiscard]] real cutoff() const override { return cutoff_; }
 
  private:
@@ -58,12 +79,23 @@ class TypeMatrixForceField final : public ForceField {
   int n_types_;
   real cutoff_;
   real eps_r_ = 15.0;
+  real coul_pre_ = 0;  // kCoulomb / eps_r_, hoisted out of the pair loop
   std::vector<PairParams> table_;
+  // Precomputed per-type-pair interaction constants, indexed like table_.
+  // Validated once at set_pair; the kernel indexes them unchecked (the type
+  // array itself is validated once per compute call, not per pair).
+  std::vector<real> c12_;    // 4 eps sigma^12
+  std::vector<real> c6_;     // 4 eps sigma^6
+  std::vector<real> shift_;  // V(cutoff), subtracted so V(rc) = 0
+  std::vector<real> f12_;    // 12 * c12
+  std::vector<real> f6_;     // 6 * c6
 };
 
 /// Bond + angle energy and forces (always computed, independent of lists).
-/// Returns potential energy; accumulates into system.force.
-real compute_bonded(System& system);
+/// Returns potential energy; accumulates into system.force. Parallelizes
+/// over bond/angle blocks with the same fixed-order reduction as the
+/// nonbonded kernel; a null pool runs serially with identical results.
+real compute_bonded(System& system, util::ThreadPool* pool = nullptr);
 
 /// Harmonic position restraints used by backmapping's restrained relaxation:
 /// V = k/2 |r_i - ref_i|^2 for each (index, reference) entry.

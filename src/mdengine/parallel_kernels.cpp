@@ -1,0 +1,52 @@
+#include "mdengine/parallel_kernels.hpp"
+
+namespace mummi::md::detail {
+
+void for_blocks(util::ThreadPool* pool, std::size_t n, std::size_t block,
+                const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (block == 0) block = 1;
+  if (pool != nullptr) {
+    pool->parallel_for_blocks(n, block, fn);
+    return;
+  }
+  for (std::size_t b = 0; b * block < n; ++b)
+    fn(b * block, std::min((b + 1) * block, n));
+}
+
+void ForceScratch::reset(std::size_t nblocks, std::size_t n,
+                         std::size_t nslots) {
+  if (force_.size() < nblocks) force_.resize(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    // Buffers left behind by reduce_and_clear are already zero; only a shape
+    // change (or an exception between reset and reduce) forces a re-clear.
+    if (force_[b].size() != n || dirty_) force_[b].assign(n, Vec3{});
+  }
+  nblocks_ = nblocks;
+  n_ = n;
+  dirty_ = true;
+  energy_.assign(nslots, 0);
+}
+
+void ForceScratch::reduce_and_clear(std::vector<Vec3>& out,
+                                    util::ThreadPool* pool) {
+  for_blocks(pool, n_, kernel_block(n_),
+             [this, &out](std::size_t begin, std::size_t end) {
+               for (std::size_t b = 0; b < nblocks_; ++b) {
+                 Vec3* f = force_[b].data();
+                 for (std::size_t i = begin; i < end; ++i) {
+                   out[i] += f[i];
+                   f[i] = Vec3{};
+                 }
+               }
+             });
+  dirty_ = false;
+}
+
+real ForceScratch::energy_sum() const {
+  real total = 0;
+  for (const real e : energy_) total += e;
+  return total;
+}
+
+}  // namespace mummi::md::detail

@@ -1,8 +1,21 @@
 #include "mdengine/simulation.hpp"
 
+#include <cstdlib>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mummi::md {
+
+util::ThreadPool* default_md_pool() {
+  // Read the env var on every call (cheap, per-Simulation not per-step) so
+  // tests and tools can flip it; the shared pool itself is sized once.
+  if (const char* env = std::getenv("MUMMI_POOL_SIZE")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 1) return &util::global_pool();
+  }
+  return nullptr;
+}
 
 Simulation::Simulation(System system, std::shared_ptr<const ForceField> ff,
                        std::unique_ptr<Integrator> integrator,
@@ -11,6 +24,7 @@ Simulation::Simulation(System system, std::shared_ptr<const ForceField> ff,
       ff_(std::move(ff)),
       integrator_(std::move(integrator)),
       config_(config),
+      pool_(config.pool != nullptr ? config.pool : default_md_pool()),
       neighbors_(ff_->cutoff(), config.skin) {
   MUMMI_CHECK(ff_ != nullptr && integrator_ != nullptr);
   if (config_.checkpoint_interval > 0)
@@ -31,16 +45,16 @@ void Simulation::clear_restraints() {
 ForceFn Simulation::force_fn() {
   return [this](System& s) {
     ensure_neighbors();
-    real pe = ff_->compute(s, neighbors_);
-    pe += compute_bonded(s);
+    real pe = ff_->compute(s, neighbors_, pool_);
+    pe += compute_bonded(s, pool_);
     if (have_restraints_) pe += restraints_.compute(s);
     return pe;
   };
 }
 
 void Simulation::ensure_neighbors() {
-  if (neighbors_.needs_rebuild(system_)) {
-    neighbors_.build(system_);
+  if (neighbors_.needs_rebuild(system_, pool_)) {
+    neighbors_.build(system_, pool_);
     ++rebuilds_;
   }
 }

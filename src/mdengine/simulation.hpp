@@ -13,7 +13,17 @@
 #include "mdengine/system.hpp"
 #include "util/checkpoint.hpp"
 
+namespace mummi::util {
+class ThreadPool;
+}  // namespace mummi::util
+
 namespace mummi::md {
+
+/// Pool the engine threads its kernels through when SimulationConfig.pool is
+/// null: the shared util::global_pool() when MUMMI_POOL_SIZE requests more
+/// than one worker, nullptr (serial) otherwise. Output is bit-identical
+/// either way — the env var only trades wall time.
+util::ThreadPool* default_md_pool();
 
 struct SimulationConfig {
   real dt = 0.02;            // ps (Martini-scale); AA uses ~0.002
@@ -21,6 +31,7 @@ struct SimulationConfig {
   int frame_interval = 100;  // steps between frame callbacks (0 = off)
   int checkpoint_interval = 0;  // steps between checkpoints (0 = off)
   std::string checkpoint_path;  // required if checkpoint_interval > 0
+  util::ThreadPool* pool = nullptr;  // null -> default_md_pool()
 };
 
 class Simulation {
@@ -50,6 +61,8 @@ class Simulation {
   [[nodiscard]] long step_count() const { return step_; }
   [[nodiscard]] real potential_energy() const { return last_pe_; }
   [[nodiscard]] std::size_t neighbor_rebuilds() const { return rebuilds_; }
+  [[nodiscard]] const NeighborList& neighbors() const { return neighbors_; }
+  [[nodiscard]] util::ThreadPool* pool() const { return pool_; }
 
   /// Writes a checkpoint now (also called on schedule during run()).
   void checkpoint() const;
@@ -66,6 +79,7 @@ class Simulation {
   std::shared_ptr<const ForceField> ff_;
   std::unique_ptr<Integrator> integrator_;
   SimulationConfig config_;
+  util::ThreadPool* pool_ = nullptr;
   NeighborList neighbors_;
   Restraints restraints_;
   bool have_restraints_ = false;
