@@ -6,13 +6,28 @@
 // sweep of node-crash rates, and the throughput/goodput curve shows how much
 // science survives each failure regime. Results land as JSON in
 // bench_outputs/resilience.json so the curve can be replotted without rerun.
+//
+// --crash-sweep instead runs the crash-consistency sweep (DESIGN.md 4i):
+// every registered persistence boundary is killed once — campaign checkpoint
+// ticks at a fixed tick, store operations mid-flight — recovery is attempted
+// over the crashed on-disk state, and within-durability-group science
+// fingerprints are compared. bench_outputs/crash_recovery.json reports
+// points swept, recoveries and divergences (the contract demands zero).
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "datastore/fs_store.hpp"
+#include "datastore/taridx.hpp"
+#include "fault/crash_point.hpp"
+#include "util/checkpoint.hpp"
 #include "wm/campaign.hpp"
 
 using namespace mummi;
@@ -78,9 +93,259 @@ struct SupSample {
   std::uint64_t sup_cg_sims = 0;
 };
 
+// --- crash-consistency sweep -----------------------------------------------
+
+struct SweepRow {
+  std::string point;
+  std::string mode;      // "campaign" or "store"
+  bool crashed = false;  // the armed point actually fired
+  bool recovered = false;
+  bool divergent = false;
+};
+
+/// True if `got` matches one of the two legitimate post-crash states.
+bool old_xor_new(const util::Bytes& got, const util::Bytes& old_v,
+                 const util::Bytes& new_v) {
+  return got == old_v || got == new_v;
+}
+
+wm::CampaignConfig crash_sweep_config(const std::string& ckpt_path) {
+  wm::CampaignConfig cfg;
+  cfg.runs = {{20, 1, 1}};
+  cfg.proteins_per_snapshot = 20;
+  cfg.perf.createsim_mean_s = 900;
+  cfg.seed = 11;
+  cfg.faults.node_crash_rate_per_h = 8.0;
+  cfg.faults.node_down_mean_s = 300.0;
+  cfg.faults.seed = 5;
+  cfg.checkpoint_interval_s = 600;
+  cfg.checkpoint_path = ckpt_path;
+  return cfg;
+}
+
+/// Campaign half: kill checkpoint tick k at each boundary, resume, and
+/// require byte-identical science fingerprints within each durability group.
+void sweep_campaign(const std::filesystem::path& dir,
+                    std::vector<SweepRow>& rows) {
+  const std::vector<std::string> pre_group = {
+      "wm.checkpoint.pre", "supervise.ledger.serialize", "ckpt.save.pre_tmp",
+      "util.write_file.pre", "util.write_file.mid"};
+  const std::vector<std::string> post_group = {
+      "util.write_file.post", "ckpt.save.post_tmp", "ckpt.save.post_bak",
+      "ckpt.save.post_rename", "wm.checkpoint.post"};
+
+  fault::ScopedCrashHarness harness;
+  auto& reg = harness.registry();
+  const std::uint64_t k = 2;  // steady-state tick: generation k-1 exists
+
+  int idx = 0;
+  for (const auto* group : {&pre_group, &post_group}) {
+    util::Bytes reference;
+    for (const auto& point : *group) {
+      SweepRow row;
+      row.point = point;
+      row.mode = "campaign";
+      auto cfg = crash_sweep_config(
+          (dir / ("campaign_" + std::to_string(idx++) + ".ckpt")).string());
+      reg.reset();
+      reg.arm(point, k);
+      try {
+        (void)wm::Campaign(cfg).run();
+      } catch (const fault::SimulatedCrash&) {
+        row.crashed = true;
+      }
+      reg.disarm();
+      if (row.crashed) {
+        const auto result = wm::Campaign(cfg).run();
+        row.recovered =
+            result.resumed_from_checkpoint && result.patches_selected > 0;
+        const auto fp = result.science_fingerprint();
+        if (reference.empty()) reference = fp;
+        row.divergent = fp != reference;
+      }
+      std::printf("  %-28s crashed=%d recovered=%d divergent=%d\n",
+                  point.c_str(), row.crashed, row.recovered, row.divergent);
+      rows.push_back(std::move(row));
+    }
+  }
+}
+
+/// Store half: FsStore, CheckpointFile and TarIdx killed mid-operation; the
+/// recovered state must be old-xor-new, never torn.
+void sweep_stores(const std::filesystem::path& dir,
+                  std::vector<SweepRow>& rows) {
+  fault::ScopedCrashHarness harness;
+  auto& reg = harness.registry();
+  const util::Bytes old_v = util::to_bytes("old"), new_v = util::to_bytes("new");
+  int idx = 0;
+
+  auto run_case = [&](const std::string& point, std::uint64_t nth,
+                      const std::function<void()>& operation,
+                      const std::function<bool()>& verify) {
+    SweepRow row;
+    row.point = point;
+    row.mode = "store";
+    reg.reset();
+    reg.arm(point, nth);
+    try {
+      operation();
+    } catch (const fault::SimulatedCrash&) {
+      row.crashed = true;
+    }
+    reg.disarm();
+    if (row.crashed) row.recovered = verify();
+    std::printf("  %-28s crashed=%d recovered=%d\n", point.c_str(),
+                row.crashed, row.recovered);
+    rows.push_back(std::move(row));
+  };
+
+  // FsStore::put at each boundary.
+  for (const char* point :
+       {"fs.put.pre_tmp", "fs.put.post_tmp", "fs.put.post_rename"}) {
+    const std::string root = (dir / ("fs_" + std::to_string(idx++))).string();
+    ds::FsStore store(root);
+    store.put("ns", "k", old_v);
+    run_case(
+        point, 1, [&] { store.put("ns", "k", new_v); },
+        [&] {
+          ds::FsStore r(root);
+          return old_xor_new(r.get("ns", "k"), old_v, new_v);
+        });
+  }
+
+  // FsStore::move / move_many / erase.
+  {
+    const std::string root = (dir / "fs_move").string();
+    ds::FsStore store(root);
+    for (const char* point : {"fs.move.pre", "fs.move.post"}) {
+      store.put("src", "k", old_v);
+      store.erase("dst", "k");
+      run_case(
+          point, 1, [&] { store.move("src", "k", "dst"); },
+          [&] {
+            ds::FsStore r(root);
+            return r.exists("src", "k") != r.exists("dst", "k");
+          });
+    }
+    for (const char* k : {"a", "b", "c"}) store.put("msrc", k, old_v);
+    run_case(
+        "fs.move_many.mid", 2,
+        [&] { store.move_many("msrc", {"a", "b", "c"}, "mdst"); },
+        [&] {
+          ds::FsStore r(root);
+          for (const char* k : {"a", "b", "c"})
+            if (r.exists("msrc", k) == r.exists("mdst", k)) return false;
+          return true;
+        });
+    store.put("del", "k", old_v);
+    run_case(
+        "fs.del.pre", 1, [&] { store.erase("del", "k"); },
+        [&] {
+          ds::FsStore r(root);
+          return !r.exists("del", "k") ||
+                 old_xor_new(r.get("del", "k"), old_v, new_v);
+        });
+  }
+
+  // CheckpointFile::save at each boundary.
+  for (const char* point : {"ckpt.save.pre_tmp", "ckpt.save.post_tmp",
+                            "ckpt.save.post_bak", "ckpt.save.post_rename"}) {
+    const std::string p = (dir / ("ckpt_" + std::to_string(idx++))).string();
+    util::CheckpointFile ckpt(p);
+    ckpt.save(old_v);
+    run_case(
+        point, 1, [&] { ckpt.save(new_v); },
+        [&] {
+          const auto got = util::CheckpointFile(p).load();
+          return got && old_xor_new(*got, old_v, new_v);
+        });
+  }
+
+  // TarIdx append/flush at each boundary. Member data spans multiple blocks
+  // so a torn append is detectably truncated on rescan.
+  const util::Bytes big(2048, 0x5a);
+  for (const char* point : {"tar.append.pre", "tar.append.mid",
+                            "tar.append.post", "tar.flush.post_trailer"}) {
+    const std::string tar =
+        (dir / ("tar_" + std::to_string(idx++) + ".tar")).string();
+    ds::TarIdx writer(tar);
+    writer.append("k1", old_v);
+    writer.flush();
+    run_case(
+        point, 1,
+        [&] {
+          writer.append("k2", big);
+          writer.flush();
+        },
+        [&] {
+          // Restart view without the old process tidying up: drop the
+          // sidecar so recovery rescans the archive itself.
+          std::filesystem::remove(tar + ".idx");
+          ds::TarIdx r(tar);
+          if (!r.contains("k1") || *r.read("k1") != old_v) return false;
+          return !r.contains("k2") || *r.read("k2") == big;
+        });
+  }
+}
+
+int run_crash_sweep() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mummi_bench_crash_sweep_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  std::printf("=== Crash-consistency sweep (campaign checkpoint path) ===\n");
+  std::vector<SweepRow> rows;
+  sweep_campaign(dir, rows);
+  std::printf("\n=== Crash-consistency sweep (stores) ===\n");
+  sweep_stores(dir, rows);
+  std::filesystem::remove_all(dir);
+
+  std::map<std::string, bool> seen;
+  std::size_t recoveries = 0, divergences = 0, crashes = 0;
+  for (const auto& row : rows) {
+    seen[row.point] = true;
+    crashes += row.crashed ? 1u : 0u;
+    recoveries += row.recovered ? 1u : 0u;
+    divergences += row.divergent ? 1u : 0u;
+  }
+  std::printf("\npoints swept: %zu  crashes: %zu  recoveries: %zu"
+              "  divergences: %zu\n",
+              seen.size(), crashes, recoveries, divergences);
+
+  std::filesystem::create_directories("bench_outputs");
+  const std::string path = "bench_outputs/crash_recovery.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"crash_recovery\",\n");
+  std::fprintf(out, "  \"points_swept\": %zu,\n", seen.size());
+  std::fprintf(out, "  \"crashes\": %zu,\n", crashes);
+  std::fprintf(out, "  \"recoveries\": %zu,\n", recoveries);
+  std::fprintf(out, "  \"divergences\": %zu,\n", divergences);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(out,
+                 "    {\"point\": \"%s\", \"mode\": \"%s\", \"crashed\": %s, "
+                 "\"recovered\": %s, \"divergent\": %s}%s\n",
+                 r.point.c_str(), r.mode.c_str(),
+                 r.crashed ? "true" : "false", r.recovered ? "true" : "false",
+                 r.divergent ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--crash-sweep") == 0)
+    return run_crash_sweep();
   const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
   const std::vector<double> rates = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
 

@@ -48,6 +48,40 @@ run_bench bench_sched_matcher sched_matcher.json --small
 run_bench bench_table1_campaign table1.json --small
 run_bench bench_resilience resilience.json
 
+# Crash-recovery contract: the crash-point sweep kills the persistence layer
+# at every registered boundary (21 points: checkpoint save chain, FsStore
+# put/move/del, tar append/flush, campaign checkpoint ticks), recovers, and
+# compares within-durability-group science fingerprints. Every armed point
+# must crash, every crash must recover, and nothing may diverge.
+run_bench bench_resilience crash_recovery.json --crash-sweep
+check_crash_recovery() {
+  local path="bench_outputs/crash_recovery.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("points_swept", 0) < 21:
+    sys.exit(f"{sys.argv[1]}: expected >= 21 crash points swept: {doc.get('points_swept')}")
+if doc.get("divergences", -1) != 0:
+    sys.exit(f"{sys.argv[1]}: crash/resume divergence detected: {doc.get('divergences')}")
+if doc.get("crashes", 0) != doc.get("recoveries", -1):
+    sys.exit(f"{sys.argv[1]}: not every crash recovered: "
+             f"{doc.get('crashes')} crashes vs {doc.get('recoveries')} recoveries")
+rows = doc.get("rows")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'rows' must be a non-empty list")
+for r in rows:
+    if not r.get("crashed") or not r.get("recovered") or r.get("divergent"):
+        sys.exit(f"{sys.argv[1]}: bad sweep row: {r}")
+EOF
+  else
+    grep -q '"divergences": 0' "$path" && ! grep -q '"recovered": false' "$path"
+  fi
+  echo "    $path crash-recovery contract OK"
+}
+check_crash_recovery
+
 # Supervision contract: the same bench also sweeps the watchdog plane. The
 # supervised run must never lose goodput to an idle supervisor (rate 0 is
 # bit-identical), must recover goodput at at least one hang rate, and the

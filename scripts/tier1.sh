@@ -50,6 +50,13 @@ cmake --build build-asan -j "$jobs" --target mummi_tests
 ./build-asan/tests/mummi_tests \
   --gtest_filter='*Backoff*:*FaultPlan*:*ResilientKv*:*FailNode*:*Resilience*:*FsStoreFault*:*JobTrackerBoundary*'
 
+echo "=== tier 1: ASan+UBSan build, crash-point sweep ==="
+# The crash-consistency sweep throws SimulatedCrash through half-finished
+# I/O stacks and then reuses the survivors — exactly where use-after-scope
+# or leaked-state bugs would hide; run the whole sweep under ASan.
+./build-asan/tests/mummi_tests \
+  --gtest_filter='*CrashPoint*:*CrashConsistency*:*CrashSweep*:*Checkpoint*'
+
 echo "=== tier 1: TSan build, concurrent KV + feedback tests ==="
 # The shared-lock shards, pooled scans/mgets and batch retry paths are the
 # code that races if anything does; run them under ThreadSanitizer.

@@ -1,9 +1,11 @@
 #include "datastore/fs_store.hpp"
 
+#include <cstring>
 #include <filesystem>
 
 #include "obs/metrics.hpp"
 #include "util/checkpoint.hpp"
+#include "util/crashpoint.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -12,11 +14,21 @@ namespace fs = std::filesystem;
 namespace mummi::ds {
 
 namespace {
+constexpr const char* kTmpSuffix = ".tmp";
+
+bool is_tmp_name(const std::string& name) {
+  const std::size_t n = std::strlen(kTmpSuffix);
+  return name.size() > n && name.compare(name.size() - n, n, kTmpSuffix) == 0;
+}
+
 void validate(const std::string& ns, const std::string& key) {
   MUMMI_CHECK_MSG(!ns.empty() && ns.find('/') == std::string::npos,
                   "invalid namespace: " + ns);
   MUMMI_CHECK_MSG(!key.empty() && key.find('/') == std::string::npos,
                   "invalid key: " + key);
+  // The ".tmp" sibling of a key is the atomic-put staging file; a key with
+  // that suffix would collide with another key's staging path.
+  MUMMI_CHECK_MSG(!is_tmp_name(key), "reserved key suffix .tmp: " + key);
 }
 }  // namespace
 
@@ -104,11 +116,34 @@ double FsStore::latency_accounted() const {
   return latency_total_;
 }
 
+void FsStore::atomic_put(const std::string& path,
+                         const util::Bytes& value) const {
+  static obs::Counter& torn_prevented =
+      obs::counter("fs.torn_writes_prevented");
+  const std::string tmp = path + kTmpSuffix;
+  std::error_code ec;
+  // A leftover sibling temp is the footprint of a crash inside an earlier
+  // put: the write that, done in place, would have torn the record.
+  if (fs::exists(tmp, ec)) torn_prevented.inc();
+  util::crash_point("fs.put.pre_tmp");
+  util::write_file(tmp, value, retry_);
+  util::crash_point("fs.put.post_tmp");
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw util::UnavailableError("atomic put rename failed: " + path + ": " +
+                                 ec.message());
+  util::crash_point("fs.put.post_rename");
+}
+
 void FsStore::put(const std::string& ns, const std::string& key,
                   const util::Bytes& value) {
   validate(ns, key);
   util::make_dirs(root_ + "/" + ns);
-  armored("put", [&] { util::write_file(path_of(ns, key), value, retry_); });
+  // Crash-atomic: stage the value in a sibling ".tmp" and rename into place,
+  // so a reader (or a restart) sees either the old record or the new one,
+  // never a torn prefix — the in-place trunc write this replaces left a
+  // partial value that a later get() returned as valid.
+  armored("put", [&] { atomic_put(path_of(ns, key), value); });
   account();
 }
 
@@ -136,6 +171,8 @@ std::vector<std::string> FsStore::keys(const std::string& ns,
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
+    // Staging files from in-flight (or crashed) atomic puts are not records.
+    if (is_tmp_name(name)) continue;
     if (util::glob_match(pattern, name)) out.push_back(name);
   }
   account();
@@ -145,6 +182,7 @@ std::vector<std::string> FsStore::keys(const std::string& ns,
 bool FsStore::erase(const std::string& ns, const std::string& key) {
   validate(ns, key);
   account();
+  util::crash_point("fs.del.pre");
   return util::remove_file(path_of(ns, key));
 }
 
@@ -153,6 +191,7 @@ void FsStore::move(const std::string& src_ns, const std::string& key,
   validate(src_ns, key);
   validate(dst_ns, key);
   util::make_dirs(root_ + "/" + dst_ns);
+  util::crash_point("fs.move.pre");
   armored("move", [&] {
     std::error_code ec;
     fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
@@ -160,6 +199,7 @@ void FsStore::move(const std::string& src_ns, const std::string& key,
       throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
                              dst_ns + ": " + ec.message());
   });
+  util::crash_point("fs.move.post");
   account();
 }
 
@@ -185,7 +225,7 @@ void FsStore::put_many(
   util::make_dirs(root_ + "/" + ns);
   for (const auto& [key, value] : records) {
     validate(ns, key);
-    armored("put", [&] { util::write_file(path_of(ns, key), value, retry_); });
+    armored("put", [&] { atomic_put(path_of(ns, key), value); });
   }
   account();
 }
@@ -195,16 +235,37 @@ void FsStore::move_many(const std::string& src_ns,
                         const std::string& dst_ns) {
   if (keys.empty()) return;
   util::make_dirs(root_ + "/" + dst_ns);
+  // Each rename is atomic but the batch is not: a mid-batch failure (or
+  // crash) leaves a prefix of the keys moved. The error enumerates exactly
+  // which, so callers can reconcile instead of guessing.
+  std::vector<std::string> moved;
+  moved.reserve(keys.size());
   for (const auto& key : keys) {
     validate(src_ns, key);
     validate(dst_ns, key);
-    armored("move", [&] {
-      std::error_code ec;
-      fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
-      if (ec)
-        throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
-                               dst_ns + ": " + ec.message());
-    });
+    util::crash_point("fs.move_many.mid");
+    try {
+      armored("move", [&] {
+        std::error_code ec;
+        fs::rename(path_of(src_ns, key), path_of(dst_ns, key), ec);
+        if (ec)
+          throw util::StoreError("move failed: " + src_ns + "/" + key + " -> " +
+                                 dst_ns + ": " + ec.message());
+      });
+    } catch (const util::Error& err) {
+      std::string already;
+      for (const auto& m : moved) {
+        if (!already.empty()) already += ",";
+        already += m;
+      }
+      if (already.empty()) already = "none";
+      throw util::StoreError(
+          "move_many " + src_ns + " -> " + dst_ns + " failed at key '" + key +
+          "' (" + std::to_string(moved.size()) + "/" +
+          std::to_string(keys.size()) + " already moved: " + already +
+          "): " + err.what());
+    }
+    moved.push_back(key);
   }
   account();
 }
@@ -214,7 +275,8 @@ std::size_t FsStore::inode_count() const {
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        it != fs::recursive_directory_iterator(); ++it)
-    if (it->is_regular_file()) ++n;
+    if (it->is_regular_file() && !is_tmp_name(it->path().filename().string()))
+      ++n;
   return n;
 }
 

@@ -21,7 +21,8 @@ namespace mummi::ds {
 class FsStore final : public DataStore {
  public:
   /// Records live under `root/<namespace>/<key>`. Keys are sanitized:
-  /// '/' is rejected to keep namespaces flat. `op_latency` seconds of
+  /// '/' is rejected to keep namespaces flat, and the ".tmp" suffix is
+  /// reserved for the crash-atomic put staging file. `op_latency` seconds of
   /// simulated contention is *accounted* (see latency_accounted()), never
   /// slept, so benches can model GPFS throttling without wasting wall time.
   /// `retry` governs the armored I/O paths (put/get/move): capped
@@ -76,6 +77,11 @@ class FsStore final : public DataStore {
  private:
   [[nodiscard]] std::string path_of(const std::string& ns,
                                     const std::string& key) const;
+  /// Crash-atomic single-record write: stage in `path + ".tmp"`, rename into
+  /// place. A crash leaves either the old record or the new one, plus at
+  /// worst a stale .tmp that the next put detects (fs.torn_writes_prevented)
+  /// and overwrites.
+  void atomic_put(const std::string& path, const util::Bytes& value) const;
   void account() const;
   /// Runs `io` under the retry policy. Injected failures consume one pending
   /// count per attempt; exhaustion throws util::UnavailableError.

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "util/checkpoint.hpp"
+#include "util/crashpoint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -103,6 +104,9 @@ TarIdx::scan(const std::string& tar_path) {
   std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>> out;
   std::ifstream in(tar_path, std::ios::binary);
   if (!in) throw util::IoError("cannot open archive: " + tar_path);
+  std::error_code ec;
+  const std::uint64_t file_size = fs::file_size(tar_path, ec);
+  if (ec) throw util::IoError("cannot stat archive: " + tar_path);
   UstarHeader h;
   std::uint64_t offset = 0;
   while (in.read(reinterpret_cast<char*>(&h), kBlock)) {
@@ -115,10 +119,24 @@ TarIdx::scan(const std::string& tar_path) {
         break;
       }
     if (all_zero) break;
-    if (std::memcmp(h.magic, "ustar", 5) != 0)
-      throw util::FormatError("not a ustar archive: " + tar_path);
+    if (std::memcmp(h.magic, "ustar", 5) != 0) {
+      // Garbage at the very start means this is genuinely not a tar; garbage
+      // mid-file is the torn tail of a crashed append — everything before it
+      // is intact, so recover it and stop.
+      if (offset == 0)
+        throw util::FormatError("not a ustar archive: " + tar_path);
+      util::log_warn("taridx scan: torn member header at offset ", offset,
+                     ", truncating recovery: ", tar_path);
+      break;
+    }
     const std::uint64_t size = parse_octal(h.size, sizeof h.size);
     std::string name(h.name, strnlen(h.name, sizeof h.name));
+    if (offset + kBlock + padded(size) > file_size) {
+      // Header landed but the member data did not: drop the torn member.
+      util::log_warn("taridx scan: truncated member '", name, "' at offset ",
+                     offset, ", dropping: ", tar_path);
+      break;
+    }
     out.emplace_back(std::move(name), offset + kBlock, size);
     offset += kBlock + padded(size);
     in.seekg(static_cast<std::streamoff>(offset));
@@ -170,10 +188,15 @@ void TarIdx::append(const std::string& key, const util::Bytes& value) {
   std::lock_guard lock(mutex_);
   MUMMI_CHECK_MSG(!key.empty(), "empty tar key");
   const UstarHeader h = make_header(key, value.size());
+  util::crash_point("tar.append.pre");
   std::fstream out(path_, std::ios::binary | std::ios::in | std::ios::out);
   if (!out) throw util::IoError("cannot open archive for append: " + path_);
   out.seekp(static_cast<std::streamoff>(end_offset_));
   out.write(reinterpret_cast<const char*>(&h), kBlock);
+  // Torn window: header down, data not. The ofstream destructor flushes the
+  // buffered header, so a crash here leaves a truncated member that the next
+  // scan() drops — the record is simply not acknowledged.
+  util::crash_point("tar.append.mid");
   out.write(reinterpret_cast<const char*>(value.data()),
             static_cast<std::streamsize>(value.size()));
   const std::uint64_t pad = padded(value.size()) - value.size();
@@ -183,6 +206,7 @@ void TarIdx::append(const std::string& key, const util::Bytes& value) {
   }
   out.flush();
   if (!out) throw util::IoError("append failed: " + path_);
+  util::crash_point("tar.append.post");
   index_[key] = Entry{end_offset_ + kBlock, value.size()};
   end_offset_ += kBlock + padded(value.size());
   dirty_ = true;
@@ -250,6 +274,10 @@ void TarIdx::flush() {
   out.write(zeros, sizeof zeros);
   out.flush();
   if (!out) throw util::IoError("trailer write failed: " + path_);
+  // Crash here: trailer on disk, sidecar stale. The stale sidecar still
+  // validates (its end never exceeds the file size), so the archive reopens
+  // with pre-append state — old-state semantics, never a torn index.
+  util::crash_point("tar.flush.post_trailer");
   persist_index_locked();
   dirty_ = false;
 }

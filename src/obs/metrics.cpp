@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/crashpoint.hpp"
+
 namespace mummi::obs {
 
 namespace {
+
+// util cannot link obs, so persistence code down in util reports durability
+// events (ckpt.generations, ckpt.recovered_from, ...) through a hook seam.
+// Installing the mirror from a static initializer in this TU means any
+// binary that uses obs at all gets the counters for free.
+[[maybe_unused]] const bool g_persist_mirror = [] {
+  util::set_persist_event_hook([](const char* name) { counter(name).inc(); });
+  return true;
+}();
 
 void append_escaped(std::string& out, const std::string& s) {
   for (const char c : s) {

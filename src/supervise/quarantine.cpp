@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/crashpoint.hpp"
+
 namespace mummi::supervise {
 
 const char* to_string(StrikeKind kind) {
@@ -66,6 +68,9 @@ std::vector<std::string> QuarantineLedger::quarantined_keys() const {
 }
 
 util::Bytes QuarantineLedger::serialize() const {
+  // The ledger rides inside the campaign checkpoint; a crash here must leave
+  // the previous on-disk checkpoint (and its ledger) fully recoverable.
+  util::crash_point("supervise.ledger.serialize");
   util::ByteWriter w;
   w.u32(static_cast<std::uint32_t>(entries_.size()));
   for (const auto& [key, e] : entries_) {

@@ -4,14 +4,22 @@
 // filesystem failures, e.g., backups of checkpoint files and retrials if
 // reading/writing fails", and components "can be restored completely after
 // any such crash". CheckpointFile provides:
-//   - atomic replace (write temp, fsync, rename),
+//   - atomic replace (write sibling .tmp, rename over the primary),
 //   - a rotating .bak of the previous good checkpoint,
 //   - bounded retries on transient failures,
-//   - content checksum so a torn write is detected on load and the backup is
-//     used instead.
+//   - a checksummed frame carrying a monotone generation counter (frame v3),
+//     so load() recovers the newest *complete* state among
+//     {primary, .bak, .tmp} — in particular a crash between the .bak
+//     rotation and the final rename no longer loses the fully-written .tmp.
+//
+// The save path is instrumented with util::crash_point boundaries
+// (ckpt.save.pre_tmp / post_tmp / post_bak / post_rename); the crash-point
+// sweep (tests + bench_resilience --crash-sweep) kills a run at each of them
+// and proves recovery, per the crash-consistency contract in DESIGN.md 4i.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -40,27 +48,37 @@ class CheckpointFile {
   /// Back-compat shorthand: `max_retries` extra attempts after the first.
   CheckpointFile(std::string path, int max_retries);
 
-  /// Atomically replaces the checkpoint with `payload`.
-  /// Keeps the previous version as backup. Throws IoError after retries.
+  /// Atomically replaces the checkpoint with `payload`, stamped with the
+  /// next generation. Keeps the previous version as backup. Throws IoError
+  /// after retries.
   void save(const Bytes& payload) const;
 
-  /// Loads the newest valid checkpoint: primary first, backup on checksum or
-  /// read failure. Returns nullopt when neither exists.
+  /// Loads the newest complete checkpoint: the highest-generation candidate
+  /// among {primary, .bak, .tmp} that passes its checksum (ties — legacy v2
+  /// frames — prefer primary, then .bak). Logs and counts
+  /// (`ckpt.recovered_from`) when a non-primary wins. Returns nullopt when
+  /// no valid candidate exists.
   [[nodiscard]] std::optional<Bytes> load() const;
 
-  /// True if a primary or backup checkpoint exists.
+  /// True if any of primary / .bak / .tmp exists (validity not checked).
   [[nodiscard]] bool exists() const;
 
-  /// Removes primary and backup (for tests and controlled resets).
+  /// Removes primary, backup and temp (for tests and controlled resets).
   void remove() const;
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
-  [[nodiscard]] std::optional<Bytes> load_one(const std::string& p) const;
+  /// Monotone per-path frame counter; a fresh handle resumes past every
+  /// on-disk candidate (including torn ones) so generations never regress.
+  [[nodiscard]] std::uint64_t next_generation() const;
 
   std::string path_;
   IoRetryPolicy retry_;
+  // Cached generation high-water mark; lazily seeded from disk. save() and
+  // load() are logically const (the checkpoint *content* is the state).
+  mutable std::uint64_t gen_ = 0;
+  mutable bool gen_known_ = false;
 };
 
 /// Reads a whole file into bytes; nullopt if it does not exist.

@@ -1,0 +1,65 @@
+#include "util/crashpoint.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace mummi::util {
+
+namespace {
+// Fast-path flags live apart from the std::function targets so the uninstalled
+// case costs one relaxed load and no lock (crash points sit on I/O paths that
+// TSan-covered threads may hit concurrently).
+std::atomic<bool> g_crash_active{false};
+std::atomic<bool> g_persist_active{false};
+
+std::mutex& hook_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+CrashPointHook& crash_hook() {
+  static CrashPointHook hook;
+  return hook;
+}
+
+PersistEventHook& persist_hook() {
+  static PersistEventHook hook;
+  return hook;
+}
+}  // namespace
+
+void set_crash_point_hook(CrashPointHook hook) {
+  std::lock_guard lock(hook_mutex());
+  crash_hook() = std::move(hook);
+  g_crash_active.store(static_cast<bool>(crash_hook()),
+                       std::memory_order_release);
+}
+
+void crash_point(const char* point) {
+  if (!g_crash_active.load(std::memory_order_acquire)) return;
+  CrashPointHook hook;
+  {
+    std::lock_guard lock(hook_mutex());
+    hook = crash_hook();
+  }
+  if (hook) hook(point);  // may throw SimulatedCrash / abort
+}
+
+void set_persist_event_hook(PersistEventHook hook) {
+  std::lock_guard lock(hook_mutex());
+  persist_hook() = std::move(hook);
+  g_persist_active.store(static_cast<bool>(persist_hook()),
+                         std::memory_order_release);
+}
+
+void persist_event(const char* counter) {
+  if (!g_persist_active.load(std::memory_order_acquire)) return;
+  PersistEventHook hook;
+  {
+    std::lock_guard lock(hook_mutex());
+    hook = persist_hook();
+  }
+  if (hook) hook(counter);
+}
+
+}  // namespace mummi::util

@@ -1,0 +1,42 @@
+// Crash-point seam for the persistence layer.
+//
+// Every crash-consistency guarantee in this codebase (checkpoint atomic
+// replace, FsStore sibling-tmp renames, tar append recovery) is only as good
+// as its test coverage of the exact instants a real process can die. The
+// persistence code therefore calls `crash_point("name")` at each named I/O
+// boundary — immediately before/after a temp write, a backup rotation, a
+// rename. In production nothing is installed and the call is one relaxed
+// atomic load. Under test, fault::CrashPointRegistry installs a hook that
+// throws a SimulatedCrash (or aborts the process) at the Nth hit of an armed
+// point, so a sweep can kill the process-under-test at *every* registered
+// boundary in turn and prove recovery is byte-exact.
+//
+// util cannot link against fault or obs (both link util), hence the hook
+// indirection: the registry lives in src/fault and installs itself here;
+// obs mirrors persistence events (see persist_event) into counters the same
+// way.
+#pragma once
+
+#include <functional>
+
+namespace mummi::util {
+
+/// Hook invoked on every crash_point() hit. May throw to simulate a crash.
+using CrashPointHook = std::function<void(const char* point)>;
+
+/// Installs (or, with an empty function, clears) the process-wide hook.
+/// Not meant for concurrent install while persistence I/O is in flight.
+void set_crash_point_hook(CrashPointHook hook);
+
+/// Marks a named I/O boundary. No-op (one relaxed atomic load) unless a hook
+/// is installed; otherwise forwards to it — the hook may throw.
+void crash_point(const char* point);
+
+/// Persistence observability events (e.g. "ckpt.generations",
+/// "ckpt.recovered_from"). The obs layer installs a mirror that bumps the
+/// counter of the same name; without it the call is a relaxed load.
+using PersistEventHook = std::function<void(const char* counter)>;
+void set_persist_event_hook(PersistEventHook hook);
+void persist_event(const char* counter);
+
+}  // namespace mummi::util

@@ -10,6 +10,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/checkpoint.hpp"
+#include "util/crashpoint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -97,6 +98,43 @@ std::vector<std::pair<double, double>> read_pairs(util::ByteReader& r) {
   return v;
 }
 }  // namespace
+
+util::Bytes CampaignResult::science_fingerprint() const {
+  util::ByteWriter w;
+  w.u64(table1.size());
+  for (const auto& row : table1) {
+    w.u64(static_cast<std::uint64_t>(row.nodes));
+    w.f64(row.walltime_h);
+    w.u64(static_cast<std::uint64_t>(row.count));
+  }
+  w.f64(node_hours);
+  w.u64(snapshots);
+  w.u64(patches_created);
+  w.u64(patches_selected);
+  w.u64(frame_candidates);
+  w.u64(frames_selected);
+  w.f64(continuum_total_us);
+  w.f64(cg_total_us);
+  w.f64(aa_total_ns);
+  w.vec(cg_lengths_us);
+  w.vec(aa_lengths_ns);
+  w.vec(continuum_ms_per_day);
+  write_pairs(w, cg_perf);
+  write_pairs(w, aa_perf);
+  w.f64(ledger.bytes_continuum);
+  w.f64(ledger.bytes_patches);
+  w.f64(ledger.bytes_cg_frames);
+  w.f64(ledger.bytes_cg_analysis);
+  w.f64(ledger.bytes_aa_frames);
+  w.f64(ledger.bytes_backmap);
+  w.u64(ledger.files_total);
+  w.u64(faults_injected);
+  w.u64(fault_jobs_killed);
+  write_supervision(w, supervision);
+  write_str_list(w, supervision_log);
+  write_str_list(w, quarantined);
+  return std::move(w).take();
+}
 
 Campaign::Campaign(CampaignConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
@@ -632,7 +670,13 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
         // Checkpoint serialization is real wall-clock work inside the
         // coordination loop; the span + histogram expose its cost.
         obs::Span span("wm.checkpoint", "wm");
+        // The outermost persistence boundary pair: a crash at .pre must
+        // recover the previous checkpoint generation, a crash at .post the
+        // one just written. Each fires once per tick, so the sweep's "nth
+        // hit" selects the checkpoint tick to kill.
+        util::crash_point("wm.checkpoint.pre");
         save_checkpoint();
+        util::crash_point("wm.checkpoint.post");
         obs::histogram("wm.checkpoint_s", 0.0, 1.0, 50)
             .observe(span.elapsed_us() * 1e-6);
       }

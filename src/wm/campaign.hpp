@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "event/sim_engine.hpp"
+#include "fault/crash_point.hpp"
 #include "fault/fault_plan.hpp"
 #include "util/error.hpp"
 #include "wm/perf_model.hpp"
@@ -25,13 +26,12 @@
 
 namespace mummi::wm {
 
-/// Thrown when CampaignConfig::crash_at_campaign_h fires: a hard,
+/// Thrown when CampaignConfig::crash_at_campaign_h fires — a hard,
 /// mid-allocation death of the coordination process (no teardown, no
-/// checkpoint-and-carry). Recovery is a fresh Campaign with the same config
+/// checkpoint-and-carry) — and by armed fault::CrashPointRegistry points at
+/// persistence boundaries. Recovery is a fresh Campaign with the same config
 /// whose run() resumes from the last periodic checkpoint.
-struct SimulatedCrash : util::Error {
-  using util::Error::Error;
-};
+using SimulatedCrash = fault::SimulatedCrash;
 
 struct RunSpec {
   int nodes = 100;
@@ -158,6 +158,14 @@ struct CampaignResult {
   std::vector<std::string> supervision_log;
   /// Quarantined "type:payload" keys at campaign end, ascending.
   std::vector<std::string> quarantined;
+
+  /// Canonical byte encoding of every *science* outcome above — totals,
+  /// distributions, ledger, supervision decisions — excluding bookkeeping
+  /// that legitimately differs across a crash/resume (checkpoints_written,
+  /// resumed_from_checkpoint, profiler occupancy samples, feedback timing
+  /// diagnostics). Two runs that recovered the same durable state produce
+  /// equal fingerprints; the crash-point sweep asserts exactly that.
+  [[nodiscard]] util::Bytes science_fingerprint() const;
 };
 
 class Campaign {

@@ -1,0 +1,214 @@
+// Store-level crash consistency: kill FsStore and TarIdx at every
+// instrumented persistence boundary and prove recovery sees either the old
+// record or the new one — never a torn one (DESIGN.md 4i).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "datastore/fs_store.hpp"
+#include "datastore/taridx.hpp"
+#include "fault/crash_point.hpp"
+#include "obs/metrics.hpp"
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace mummi::ds {
+namespace {
+
+class CrashConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mummi_crashcons_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CrashConsistencyTest, FsPutSweepRecoversOldXorNew) {
+  struct Case {
+    const char* point;
+    const char* expect;  // what get() returns after crash + reopen
+  };
+  const Case cases[] = {
+      {"fs.put.pre_tmp", "old"},      {"util.write_file.pre", "old"},
+      {"util.write_file.mid", "old"}, {"fs.put.post_tmp", "old"},
+      {"fs.put.post_rename", "new"},
+  };
+  for (const auto& c : cases) {
+    const std::string root = path(std::string("store_") + c.point);
+    FsStore store(root);
+    store.put("ns", "k", util::to_bytes("old"));
+    {
+      fault::ScopedCrashHarness harness;
+      harness.registry().arm(c.point);
+      EXPECT_THROW(store.put("ns", "k", util::to_bytes("new")),
+                   fault::SimulatedCrash)
+          << c.point;
+    }
+    // Simulated restart: a fresh store over the crashed directory tree.
+    FsStore recovered(root);
+    EXPECT_EQ(util::to_string(recovered.get("ns", "k")), c.expect) << c.point;
+    // The record stays fully writable afterwards.
+    recovered.put("ns", "k", util::to_bytes("after"));
+    EXPECT_EQ(util::to_string(recovered.get("ns", "k")), "after") << c.point;
+  }
+}
+
+TEST_F(CrashConsistencyTest, StaleTmpIsDetectedCountedAndInvisible) {
+  FsStore store(path("store"));
+  store.put("ns", "k", util::to_bytes("old"));
+  {
+    fault::ScopedCrashHarness harness;
+    harness.registry().arm("fs.put.post_tmp");
+    EXPECT_THROW(store.put("ns", "k", util::to_bytes("new")),
+                 fault::SimulatedCrash);
+  }
+  // The crash left a complete staging file behind...
+  ASSERT_TRUE(fs::exists(path("store") + "/ns/k.tmp"));
+  FsStore recovered(path("store"));
+  // ...which is bookkeeping, not data: listings and inode accounting skip it.
+  EXPECT_EQ(recovered.keys("ns", "*"), std::vector<std::string>{"k"});
+  EXPECT_EQ(recovered.inode_count(), 1u);
+  // The next put over the same key notices the footprint of the prevented
+  // torn write before replacing it.
+  const auto before = obs::counter("fs.torn_writes_prevented").value();
+  recovered.put("ns", "k", util::to_bytes("new2"));
+  EXPECT_EQ(obs::counter("fs.torn_writes_prevented").value(), before + 1);
+  EXPECT_EQ(util::to_string(recovered.get("ns", "k")), "new2");
+  EXPECT_FALSE(fs::exists(path("store") + "/ns/k.tmp"));
+}
+
+TEST_F(CrashConsistencyTest, TmpSuffixedKeysAreReserved) {
+  FsStore store(path("store"));
+  EXPECT_THROW(store.put("ns", "k.tmp", util::to_bytes("x")), util::Error);
+  EXPECT_THROW((void)store.get("ns", "k.tmp"), util::Error);
+}
+
+TEST_F(CrashConsistencyTest, MoveManyMidBatchCrashLeavesEachKeyExactlyOnce) {
+  FsStore store(path("store"));
+  const std::vector<std::string> keys = {"a", "b", "c"};
+  for (const auto& k : keys) store.put("src", k, util::to_bytes("v-" + k));
+  {
+    fault::ScopedCrashHarness harness;
+    harness.registry().arm("fs.move_many.mid", 2);  // die before moving "b"
+    EXPECT_THROW(store.move_many("src", keys, "dst"), fault::SimulatedCrash);
+  }
+  FsStore recovered(path("store"));
+  std::size_t total = 0;
+  for (const auto& k : keys) {
+    const bool in_src = recovered.exists("src", k);
+    const bool in_dst = recovered.exists("dst", k);
+    EXPECT_NE(in_src, in_dst) << k;  // exactly one home, never zero or two
+    total += in_src || in_dst ? 1u : 0u;
+  }
+  EXPECT_EQ(total, keys.size());
+  EXPECT_TRUE(recovered.exists("dst", "a"));
+  EXPECT_TRUE(recovered.exists("src", "b"));
+  EXPECT_TRUE(recovered.exists("src", "c"));
+}
+
+TEST_F(CrashConsistencyTest, MoveManyFailureReportsPartiallyMovedKeys) {
+  FsStore store(path("store"));
+  store.put("src", "a", util::to_bytes("va"));
+  store.put("src", "b", util::to_bytes("vb"));
+  // Make the second rename fail for real: its source vanishes out from
+  // under the batch.
+  fs::remove(path("store") + "/src/b");
+  try {
+    store.move_many("src", {"a", "b"}, "dst");
+    FAIL() << "move_many must throw";
+  } catch (const util::StoreError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("1/2 already moved: a"), std::string::npos) << what;
+    EXPECT_NE(what.find("'b'"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(store.exists("dst", "a"));
+}
+
+TEST_F(CrashConsistencyTest, TarAppendCrashDropsTornMemberOnRescan) {
+  const std::string tar = path("a.tar");
+  // Member data > one block so a torn append is detectably truncated.
+  const util::Bytes big(2048, 0x5a);
+  {
+    auto writer = std::make_unique<TarIdx>(tar);
+    writer->append("k1", util::to_bytes("first"));
+    writer->flush();
+    fault::ScopedCrashHarness harness;
+    harness.registry().arm("tar.append.mid");
+    EXPECT_THROW(writer->append("k2", big), fault::SimulatedCrash);
+    // Simulated restart before the old process can tidy up: force the
+    // sidecar-miss path so recovery rescans the (torn) archive itself.
+    fs::remove(tar + ".idx");
+    TarIdx recovered(tar);
+    EXPECT_TRUE(recovered.contains("k1"));
+    EXPECT_FALSE(recovered.contains("k2"));  // torn member dropped
+    EXPECT_EQ(util::to_string(*recovered.read("k1")), "first");
+    // The torn tail is dead space: the next append overwrites it.
+    recovered.append("k2", big);
+    recovered.flush();
+    EXPECT_EQ(*recovered.read("k2"), big);
+  }
+}
+
+TEST_F(CrashConsistencyTest, TarFlushCrashKeepsPreAppendIndex) {
+  const std::string tar = path("b.tar");
+  auto writer = std::make_unique<TarIdx>(tar);
+  writer->append("k1", util::to_bytes("first"));
+  writer->flush();
+  writer->append("k2", util::to_bytes("second"));
+  {
+    fault::ScopedCrashHarness harness;
+    harness.registry().arm("tar.flush.post_trailer");
+    EXPECT_THROW(writer->flush(), fault::SimulatedCrash);
+  }
+  // Restart view: the sidecar is stale but valid (its end never exceeds the
+  // file), so the archive reopens with pre-append state — k2 was simply
+  // never acknowledged. Old-state semantics, not corruption.
+  TarIdx recovered(tar);
+  EXPECT_TRUE(recovered.contains("k1"));
+  EXPECT_FALSE(recovered.contains("k2"));
+}
+
+TEST_F(CrashConsistencyTest, ScanRejectsGarbageOnlyAtOffsetZero) {
+  // Garbage at the start: genuinely not a tar.
+  const std::string bogus = path("bogus.tar");
+  {
+    std::ofstream out(bogus, std::ios::binary);
+    const std::string junk(1024, 'X');
+    out << junk;
+  }
+  EXPECT_THROW(TarIdx::scan(bogus), util::FormatError);
+
+  // Garbage after a valid member: torn tail, recover the prefix.
+  const std::string torn = path("torn.tar");
+  {
+    TarIdx writer(torn);
+    writer.append("k1", util::to_bytes("first"));
+    writer.flush();
+  }
+  {
+    // Overwrite the trailer with non-tar junk where the next header would be.
+    std::fstream out(torn, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(512 + 512);  // header block + one padded data block
+    const std::string junk(512, 'X');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  const auto members = TarIdx::scan(torn);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(std::get<0>(members[0]), "k1");
+}
+
+}  // namespace
+}  // namespace mummi::ds

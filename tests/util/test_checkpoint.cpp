@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "fault/crash_point.hpp"
+
 namespace mummi::util {
 namespace {
 
@@ -103,6 +105,107 @@ TEST_F(CheckpointTest, MakeDirsNested) {
   make_dirs(path("a/b/c"));
   EXPECT_TRUE(std::filesystem::is_directory(path("a/b/c")));
   make_dirs(path("a/b/c"));  // idempotent
+}
+
+TEST_F(CheckpointTest, ReadFileOnDirectoryReturnsNullopt) {
+  // Regression: tellg() reports -1 for an unseekable stream (a directory
+  // opens fine on Linux); the unchecked cast turned that into a ~2^64
+  // allocation attempt instead of a clean miss.
+  make_dirs(path("a_dir"));
+  EXPECT_FALSE(read_file(path("a_dir")).has_value());
+}
+
+TEST_F(CheckpointTest, LoadPrefersHighestGeneration) {
+  CheckpointFile ckpt(path("state"));
+  ckpt.save(to_bytes("gen1"));
+  ckpt.save(to_bytes("gen2"));
+  // Primary holds gen2, .bak holds gen1; newest wins even if we swap them
+  // (a rename shuffle a crashed rotation could leave behind).
+  std::filesystem::rename(path("state"), path("state") + ".swap");
+  std::filesystem::rename(path("state") + ".bak", path("state"));
+  std::filesystem::rename(path("state") + ".swap", path("state") + ".bak");
+  EXPECT_EQ(to_string(*ckpt.load()), "gen2");
+}
+
+TEST_F(CheckpointTest, GenerationsResumeMonotoneAcrossFreshHandles) {
+  {
+    CheckpointFile ckpt(path("state"));
+    ckpt.save(to_bytes("a"));
+    ckpt.save(to_bytes("b"));
+  }
+  // A restarted process gets a fresh handle; its first save must outrank
+  // everything already on disk, including the .bak.
+  CheckpointFile fresh(path("state"));
+  fresh.save(to_bytes("c"));
+  std::filesystem::remove(path("state"));
+  // Even with the new primary gone, the freshest surviving candidate is the
+  // .bak from the third save (gen 2, payload "b").
+  EXPECT_EQ(to_string(*CheckpointFile(path("state")).load()), "b");
+}
+
+TEST_F(CheckpointTest, LegacyV2FramesStillLoad) {
+  // A pre-generation frame: magic "MuMMICKP", size, checksum, payload.
+  const Bytes payload = to_bytes("legacy state");
+  ByteWriter w;
+  w.u64(0x4d754d4d49434b50ULL);
+  w.u64(payload.size());
+  w.u64(fnv1a(payload.data(), payload.size()));
+  w.raw(payload.data(), payload.size());
+  write_file(path("state"), std::move(w).take());
+  CheckpointFile ckpt(path("state"));
+  EXPECT_EQ(to_string(*ckpt.load()), "legacy state");
+  // And the next save supersedes it.
+  ckpt.save(to_bytes("upgraded"));
+  EXPECT_EQ(to_string(*ckpt.load()), "upgraded");
+}
+
+TEST_F(CheckpointTest, CrashAfterBakRotationRecoversNewestFromTmp) {
+  // Regression for the lost-newest-checkpoint window: save() rotates the
+  // primary to .bak before renaming .tmp into place. A crash between the two
+  // renames used to fall back to the *older* .bak even though the newest
+  // complete frame sat fully written in .tmp.
+  CheckpointFile ckpt(path("state"));
+  ckpt.save(to_bytes("old"));
+  fault::ScopedCrashHarness harness;
+  harness.registry().arm("ckpt.save.post_bak");
+  EXPECT_THROW(ckpt.save(to_bytes("new")), fault::SimulatedCrash);
+  // Simulated restart: a fresh handle over the crashed on-disk state.
+  const auto recovered = CheckpointFile(path("state")).load();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(to_string(*recovered), "new");
+}
+
+TEST_F(CheckpointTest, CrashSweepRecoversOldOrNewNeverTorn) {
+  // Every boundary on the save path: crashing before the .tmp frame is
+  // complete must recover the previous generation; crashing after must
+  // recover the new one. Nothing in between, ever.
+  struct Case {
+    const char* point;
+    const char* expect;  // payload a fresh handle must load after the crash
+  };
+  const Case cases[] = {
+      {"ckpt.save.pre_tmp", "old"},   {"util.write_file.pre", "old"},
+      {"util.write_file.mid", "old"}, {"ckpt.save.post_tmp", "new"},
+      {"ckpt.save.post_bak", "new"},  {"ckpt.save.post_rename", "new"},
+  };
+  for (const auto& c : cases) {
+    const std::string p = path(std::string("state_") + c.point);
+    CheckpointFile ckpt(p);
+    ckpt.save(to_bytes("old"));
+    {
+      fault::ScopedCrashHarness harness;
+      harness.registry().arm(c.point);
+      EXPECT_THROW(ckpt.save(to_bytes("new")), fault::SimulatedCrash)
+          << c.point;
+    }
+    const auto recovered = CheckpointFile(p).load();
+    ASSERT_TRUE(recovered.has_value()) << c.point;
+    EXPECT_EQ(to_string(*recovered), c.expect) << c.point;
+    // The survivor must also accept further saves (generations monotone).
+    CheckpointFile after(p);
+    after.save(to_bytes("after"));
+    EXPECT_EQ(to_string(*CheckpointFile(p).load()), "after") << c.point;
+  }
 }
 
 }  // namespace
