@@ -279,4 +279,44 @@ EOF
 }
 check_md_kernels
 
+# Continuum engine contract: the DDFT thread sweep must produce serialized
+# frames byte-identical at every pool size AND identical to the legacy
+# reference kernels (rows carry the frame fingerprint), the deterministic
+# block-schedule model must reach >= 3x at 8 threads, and wall throughput
+# must be positive (its scaling is host-dependent and not checked).
+run_bench bench_continuum continuum_kernels.json --small
+check_continuum_kernels() {
+  local path="bench_outputs/continuum_kernels.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc.get("rows")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'rows' must be a non-empty list")
+threads = sorted(r["threads"] for r in rows)
+if threads != [1, 2, 4, 8]:
+    sys.exit(f"{sys.argv[1]}: expected a 1/2/4/8 thread sweep, got {threads}")
+legacy_fp = doc.get("legacy_fingerprint")
+if not legacy_fp:
+    sys.exit(f"{sys.argv[1]}: missing 'legacy_fingerprint'")
+for r in rows:
+    if not r.get("identical"):
+        sys.exit(f"{sys.argv[1]}: frame diverged from legacy kernels: {r}")
+    if r.get("fingerprint") != legacy_fp:
+        sys.exit(f"{sys.argv[1]}: fingerprint mismatch: {r}")
+    if r.get("wall_cells_per_s", 0.0) <= 0.0:
+        sys.exit(f"{sys.argv[1]}: non-positive wall throughput: {r}")
+eight = [r for r in rows if r["threads"] == 8][0]
+if eight.get("virtual_speedup", 0.0) < 3.0:
+    sys.exit(f"{sys.argv[1]}: virtual speedup at 8 threads below 3x: {eight}")
+EOF
+  else
+    grep -q '"identical": true' "$path" && ! grep -q '"identical": false' "$path"
+  fi
+  echo "    $path continuum kernel contract OK"
+}
+check_continuum_kernels
+
 echo "=== bench smoke: PASS ==="

@@ -80,4 +80,12 @@ echo "=== tier 1: TSan build, threaded MD engine tests ==="
 ./build-tsan/tests/mummi_tests \
   --gtest_filter='*ParallelMd*:*NveDrift*'
 
+echo "=== tier 1: TSan build, threaded continuum engine tests ==="
+# The continuum engine runs the same scatter-into-block-buffers / fold-on-
+# caller discipline over DDFT stencil rows and protein blocks; its
+# determinism suite drives 2- and 8-worker pools against the serial
+# reference, so any cross-block write or racy scratch reuse trips here.
+./build-tsan/tests/mummi_tests \
+  --gtest_filter='*ParallelContinuum*'
+
 echo "=== tier 1: PASS ==="

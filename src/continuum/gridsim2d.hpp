@@ -13,22 +13,38 @@
 //     with excess chemical potential
 //       mu_ex,s = sum_t chi_st rho_t - kappa lap(rho_s) + sum_p w(state_p, s)
 //                 G(x - x_p),
-//     explicit finite differences on the periodic grid, thread-parallel;
+//     explicit finite differences on the periodic grid;
 //   - proteins: overdamped Brownian particles on the free-energy landscape
 //     (lipid coupling + pairwise soft repulsion), with Markov jumps between
 //     configurational states.
+//
+// The engine is a deterministic parallel kernel engine in the mold of the MD
+// force engine (DESIGN.md 4h/4j): stencils run over row blocks whose
+// boundaries depend on the grid size only, protein dynamics runs over a
+// periodic cell list with per-protein counter-based RNG streams, all scratch
+// persists across steps (zero-allocation steady state), and serialized
+// snapshots are bit-identical at any thread count. A test-only legacy kernel
+// path (ContinuumConfig.legacy_kernels) keeps the pre-refactor loop
+// structure as an executable reference.
 //
 // The CG-to-continuum feedback updates the protein-lipid coupling weights
 // w(state, species) on the fly, exactly where the paper's RDF feedback lands.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "continuum/grid2d.hpp"
+#include "continuum/parallel_kernels.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
+
+namespace mummi::obs {
+class Counter;
+class HistogramMetric;
+}  // namespace mummi::obs
 
 namespace mummi::cont {
 
@@ -49,6 +65,12 @@ struct Protein {
   ProteinState state = ProteinState::kRasA;
 };
 
+/// Pool the engine threads its kernels through when ContinuumConfig.pool is
+/// null: the shared util::global_pool() when MUMMI_POOL_SIZE requests more
+/// than one worker, nullptr (serial) otherwise — the same resolution as
+/// md::default_md_pool(). Output is bit-identical either way.
+util::ThreadPool* default_continuum_pool();
+
 struct ContinuumConfig {
   int grid = 192;            // cells per side (paper: 2400)
   double extent = 1000.0;    // box edge, nm (1 um)
@@ -63,6 +85,11 @@ struct ContinuumConfig {
   double state_switch_rate = 2e-3;  // 1/us Markov jumps between states
   int n_proteins = 30;
   std::uint64_t seed = 42;
+  util::ThreadPool* pool = nullptr;  // null -> default_continuum_pool()
+  /// Test-only: run the pre-refactor serial reference kernels (per-species
+  /// loops, all-pairs repulsion, per-step allocations). Bit-identical to the
+  /// block-parallel engine by construction — benches and tests assert it.
+  bool legacy_kernels = false;
 };
 
 /// One saved continuum frame — the unit the Patch Creator consumes.
@@ -74,6 +101,8 @@ struct Snapshot {
   std::vector<Protein> proteins;
 
   [[nodiscard]] util::Bytes serialize() const;
+  /// Throws util::FormatError on malformed bytes (truncation, field size
+  /// mismatch, out-of-range protein state, non-positive grid).
   static Snapshot deserialize(const util::Bytes& bytes);
 };
 
@@ -85,12 +114,14 @@ class GridSim2D {
   void step(int n = 1);
 
   [[nodiscard]] double time_us() const { return time_us_; }
+  [[nodiscard]] std::uint64_t step_count() const { return step_count_; }
   [[nodiscard]] const ContinuumConfig& config() const { return config_; }
   [[nodiscard]] int n_species() const {
     return config_.inner_species + config_.outer_species;
   }
   [[nodiscard]] const Grid2d& field(int species) const { return fields_[species]; }
   [[nodiscard]] const std::vector<Protein>& proteins() const { return proteins_; }
+  [[nodiscard]] util::ThreadPool* pool() const { return pool_; }
 
   /// Captures the current state for the workflow to parse into patches.
   [[nodiscard]] Snapshot snapshot() const;
@@ -102,7 +133,9 @@ class GridSim2D {
   [[nodiscard]] double protein_lipid_coupling(ProteinState state,
                                               int species) const;
 
-  /// Checkpoint/restore of the full model state.
+  /// Checkpoint/restore of the full model state. Frames are versioned: v2
+  /// carries the step counter and RNG stream so a resumed campaign replays
+  /// bit-identically; legacy v1 frames (no version header) remain readable.
   [[nodiscard]] util::Bytes serialize() const;
   void restore(const util::Bytes& bytes);
 
@@ -113,17 +146,40 @@ class GridSim2D {
  private:
   void step_lipids();
   void step_proteins();
+  void step_lipids_legacy();
+  void step_proteins_legacy();
+  /// Stamps the per-state Gaussian protein footprints into footprint_
+  /// (block-parallel scatter, ascending-block fold; shared by both paths).
+  void build_footprints(util::ThreadPool* pool);
   [[nodiscard]] double coupling_field_gradient(const Protein& p, int axis) const;
+  /// Brownian displacement + Markov state jump for protein `a` given its
+  /// repulsion+coupling force, drawing from the protein's per-step stream.
+  void advance_protein(std::size_t a, double fx, double fy);
 
   ContinuumConfig config_;
   double h_;  // grid spacing, nm
+  util::ThreadPool* pool_ = nullptr;
   std::vector<Grid2d> fields_;
-  std::vector<Grid2d> mu_;  // scratch: excess chemical potential per species
+  std::vector<Grid2d> mu_;      // scratch: excess chemical potential
+  std::vector<Grid2d> next_;    // scratch: updated densities (swapped in)
+  std::vector<Grid2d> footprint_;  // scratch: per-state protein footprints
+  detail::FootprintScratch fp_scratch_;
+  detail::ProteinCellBins bins_;
+  std::vector<std::vector<std::size_t>> cand_scratch_;  // per-block neighbors
+  std::vector<std::uint64_t> pair_counts_;              // per-block partials
   std::vector<Protein> proteins_;
   std::vector<double> coupling_;  // [state][species] weights
   std::vector<double> chi_;       // [s][t] interaction matrix
-  util::Rng rng_;
+  util::Rng rng_;                 // init-time stream (fields, placement)
   double time_us_ = 0;
+  std::uint64_t step_count_ = 0;
+
+  // cont.step.* telemetry handles (stable for the process lifetime).
+  obs::Counter* c_steps_ = nullptr;
+  obs::Counter* c_cells_ = nullptr;
+  obs::Counter* c_pairs_ = nullptr;
+  obs::Counter* c_rebuilds_ = nullptr;
+  obs::HistogramMetric* h_pairs_ = nullptr;
 };
 
 }  // namespace mummi::cont

@@ -4,14 +4,7 @@ namespace mummi::md::detail {
 
 void for_blocks(util::ThreadPool* pool, std::size_t n, std::size_t block,
                 const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  if (block == 0) block = 1;
-  if (pool != nullptr) {
-    pool->parallel_for_blocks(n, block, fn);
-    return;
-  }
-  for (std::size_t b = 0; b * block < n; ++b)
-    fn(b * block, std::min((b + 1) * block, n));
+  util::for_blocks(pool, n, block, fn);
 }
 
 void ForceScratch::reset(std::size_t nblocks, std::size_t n,
@@ -30,7 +23,7 @@ void ForceScratch::reset(std::size_t nblocks, std::size_t n,
 
 void ForceScratch::reduce_and_clear(std::vector<Vec3>& out,
                                     util::ThreadPool* pool) {
-  for_blocks(pool, n_, kernel_block(n_),
+  detail::for_blocks(pool, n_, kernel_block(n_),
              [this, &out](std::size_t begin, std::size_t end) {
                for (std::size_t b = 0; b < nblocks_; ++b) {
                  Vec3* f = force_[b].data();

@@ -7,15 +7,7 @@
 
 namespace mummi::md {
 
-util::ThreadPool* default_md_pool() {
-  // Read the env var on every call (cheap, per-Simulation not per-step) so
-  // tests and tools can flip it; the shared pool itself is sized once.
-  if (const char* env = std::getenv("MUMMI_POOL_SIZE")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n > 1) return &util::global_pool();
-  }
-  return nullptr;
-}
+util::ThreadPool* default_md_pool() { return util::env_shared_pool(); }
 
 Simulation::Simulation(System system, std::shared_ptr<const ForceField> ff,
                        std::unique_ptr<Integrator> integrator,

@@ -101,6 +101,26 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void for_blocks(ThreadPool* pool, std::size_t n, std::size_t block,
+                const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (block == 0) block = 1;
+  if (pool != nullptr) {
+    pool->parallel_for_blocks(n, block, fn);
+    return;
+  }
+  for (std::size_t b = 0; b * block < n; ++b)
+    fn(b * block, std::min((b + 1) * block, n));
+}
+
+ThreadPool* env_shared_pool() {
+  if (const char* env = std::getenv("MUMMI_POOL_SIZE")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 1) return &global_pool();
+  }
+  return nullptr;
+}
+
 ThreadPool& global_pool() {
   // MUMMI_POOL_SIZE overrides the hardware-concurrency default; campaign
   // output is identical for every setting (parallel_for_blocks pins block

@@ -85,4 +85,20 @@ class ThreadPool {
 /// stencils). Sized once from hardware concurrency.
 ThreadPool& global_pool();
 
+/// Runs fn(begin, end) over [0, n) in blocks of `block`: serial in ascending
+/// block order when pool is null, pool->parallel_for_blocks otherwise. The
+/// block boundaries are identical either way, so a kernel that only touches
+/// state owned by its block (or folds per-block partials in ascending block
+/// order afterwards) is thread-count independent by construction. Both the
+/// MD force engine and the continuum stencil engine run through this.
+void for_blocks(ThreadPool* pool, std::size_t n, std::size_t block,
+                const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Pool resolution for engine configs whose `pool` field is null: the shared
+/// global_pool() when MUMMI_POOL_SIZE requests more than one worker, nullptr
+/// (serial) otherwise. Read on every call (cheap, per-engine not per-step)
+/// so tests and tools can flip the env var. Output is bit-identical either
+/// way — the env var only trades wall time.
+ThreadPool* env_shared_pool();
+
 }  // namespace mummi::util
