@@ -319,4 +319,43 @@ EOF
 }
 check_continuum_kernels
 
+# Campaign maintain-tick contract: the in-situ thread sweep must produce a
+# byte-identical science fingerprint at every pool size (rows carry the
+# fingerprint and an "identical" flag against the serial run), and the
+# deterministic tick-schedule model must reach >= 3x at 8 threads. Wall time
+# is host-dependent and not checked (the tick is a small slice of campaign
+# wall time; the virtual model isolates the schedule itself).
+run_bench bench_campaign_parallel campaign_parallel.json --small
+check_campaign_parallel() {
+  local path="bench_outputs/campaign_parallel.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$path" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc.get("rows")
+if not isinstance(rows, list) or not rows:
+    sys.exit(f"{sys.argv[1]}: 'rows' must be a non-empty list")
+threads = sorted(r["threads"] for r in rows)
+if threads != [1, 2, 4, 8]:
+    sys.exit(f"{sys.argv[1]}: expected a 1/2/4/8 thread sweep, got {threads}")
+fingerprints = {r.get("fingerprint") for r in rows}
+if len(fingerprints) != 1 or not fingerprints.pop():
+    sys.exit(f"{sys.argv[1]}: fingerprints not identical across pool sizes")
+for r in rows:
+    if not r.get("identical"):
+        sys.exit(f"{sys.argv[1]}: fingerprint diverged from serial: {r}")
+if doc.get("analysis_frames", 0) <= 0:
+    sys.exit(f"{sys.argv[1]}: no frames analyzed")
+eight = [r for r in rows if r["threads"] == 8][0]
+if eight.get("virtual_speedup", 0.0) < 3.0:
+    sys.exit(f"{sys.argv[1]}: virtual speedup at 8 threads below 3x: {eight}")
+EOF
+  else
+    grep -q '"identical": true' "$path" && ! grep -q '"identical": false' "$path"
+  fi
+  echo "    $path campaign tick contract OK"
+}
+check_campaign_parallel
+
 echo "=== bench smoke: PASS ==="

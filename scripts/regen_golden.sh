@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate the golden science-fingerprint corpus under tests/data/golden/.
+#
+# The GoldenFingerprintContract tests pin the byte-level outcome of three
+# seed campaign configurations (plain, faulted+supervised, checkpoint-resume).
+# Run this ONLY when a change intentionally moves campaign bytes — new RNG
+# draws, fold-order changes, fingerprint field additions — then commit the
+# regenerated files together with the change and a note in the PR explaining
+# why the corpus moved. See TESTING.md ("Golden corpus").
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$jobs" --target mummi_tests
+
+echo "=== regenerating tests/data/golden/ ==="
+MUMMI_REGEN_GOLDEN=1 "$build_dir/tests/mummi_tests" \
+  --gtest_filter='GoldenFingerprintContract.*'
+
+echo "=== verifying the fresh corpus round-trips ==="
+"$build_dir/tests/mummi_tests" --gtest_filter='GoldenFingerprintContract.*'
+
+echo "=== golden corpus regenerated ==="
+git -C . status --short tests/data/golden/ || true

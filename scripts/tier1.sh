@@ -4,27 +4,42 @@
 # restart and retry deserve the extra scrutiny), and the concurrent KV /
 # feedback paths under TSan (shared_mutex shards + pool fan-out).
 #
-# Usage: scripts/tier1.sh [--no-sanitize] [--bench]
+# Usage: scripts/tier1.sh [--no-sanitize] [--bench] [-L <label>]
 #   --bench additionally runs scripts/bench_smoke.sh (reduced-scale JSON
 #   benches with output validation) after the test stage.
+#   -L <label> restricts the ctest stage to one taxonomy stage (unit,
+#   property, integration, contract — see TESTING.md); repeatable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 no_sanitize=0
 bench=0
-for arg in "$@"; do
-  case "$arg" in
-    --no-sanitize) no_sanitize=1 ;;
-    --bench) bench=1 ;;
-    *) echo "unknown option: $arg" >&2; exit 2 ;;
+label_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --no-sanitize) no_sanitize=1; shift ;;
+    --bench) bench=1; shift ;;
+    -L)
+      [[ $# -ge 2 ]] || { echo "-L requires a label" >&2; exit 2; }
+      label_args+=(-L "$2"); shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
 
-echo "=== tier 1: regular build + full ctest ==="
+echo "=== tier 1: regular build + ctest ${label_args[*]:-(all stages)} ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+ctest_log=$(mktemp)
+ctest --test-dir build --output-on-failure -j "$jobs" \
+  ${label_args[@]+"${label_args[@]}"} | tee "$ctest_log"
+
+echo "=== tier 1: slowest 10 tests ==="
+awk '/ Test +#[0-9]+:/ && / sec$/ {
+       for (i = 1; i <= NF; i++) if ($i == "sec") t = $(i - 1);
+       print t, $4
+     }' "$ctest_log" | sort -rn | head -10
+rm -f "$ctest_log"
 
 if [[ "$bench" == 1 ]]; then
   echo "=== tier 1: bench smoke (reduced scale, JSON validated) ==="
@@ -87,5 +102,13 @@ echo "=== tier 1: TSan build, threaded continuum engine tests ==="
 # reference, so any cross-block write or racy scratch reuse trips here.
 ./build-tsan/tests/mummi_tests \
   --gtest_filter='*ParallelContinuum*'
+
+echo "=== tier 1: TSan build, threaded campaign tick tests ==="
+# The campaign maintain tick pipelines in-situ stepping (pool) against
+# analysis fan-out + serial fold (caller) over shared SimStates; the
+# determinism suites drive 2/4/8-worker pools against the serial reference,
+# so a racy chunk handoff or cross-stage access trips here.
+./build-tsan/tests/mummi_tests \
+  --gtest_filter='*PipelineTwoStage*:*InSitu*:*ParallelCampaign*'
 
 echo "=== tier 1: PASS ==="

@@ -1,8 +1,19 @@
 #include "coupling/analysis.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace mummi::coupling {
+
+namespace {
+// Bounds for untrusted RdfSet streams, validated before any allocation (the
+// Snapshot::deserialize hardening discipline): far above anything the
+// campaign emits (4 species, 16-24 bins), far below an allocation that
+// could hurt.
+constexpr std::uint32_t kMaxSpecies = 4096;
+constexpr std::uint64_t kMaxBins = 1u << 20;
+}  // namespace
 
 void RdfSet::merge(const RdfSet& other) {
   MUMMI_CHECK_MSG(per_species.size() == other.per_species.size(),
@@ -28,14 +39,25 @@ RdfSet RdfSet::deserialize(const util::Bytes& bytes) {
   util::ByteReader r(bytes);
   RdfSet out;
   const auto ns = r.u32();
+  if (ns > kMaxSpecies)
+    throw util::FormatError("RdfSet species count out of range");
   out.per_species.reserve(ns);
   for (std::uint32_t s = 0; s < ns; ++s) {
     const double rmax = r.f64();
+    if (!std::isfinite(rmax) || rmax <= 0.0)
+      throw util::FormatError("RdfSet r_max invalid");
     const auto nbins = r.u64();
+    if (nbins == 0 || nbins > kMaxBins)
+      throw util::FormatError("RdfSet bin count out of range");
     const auto frames = r.u64();
     const double pair_density = r.f64();
+    if (!std::isfinite(pair_density))
+      throw util::FormatError("RdfSet pair density invalid");
+    // ByteReader::vec bounds the element count against the remaining bytes
+    // before allocating; a truncated stream throws here, not in operator new.
     auto counts = r.vec<double>();
-    MUMMI_CHECK_MSG(counts.size() == nbins, "RdfSet stream corrupt");
+    if (counts.size() != nbins)
+      throw util::FormatError("RdfSet counts/bins mismatch");
     md::RdfAccumulator acc(rmax, nbins);
     acc.restore_raw(std::move(counts), frames, pair_density);
     out.per_species.push_back(std::move(acc));

@@ -67,13 +67,18 @@ util::Bytes CgFrameInfo::serialize() const {
 }
 
 CgFrameInfo CgFrameInfo::deserialize(const util::Bytes& bytes) {
-  util::ByteReader r(bytes);
+  util::ByteReader r(bytes);  // throws FormatError on truncated streams
   CgFrameInfo info;
   info.sim_id = r.u64();
   info.step = r.i64();
   info.tilt = r.f32();
   info.rotation = r.f32();
   info.separation = r.f32();
+  // The on-disk record is descriptor + zero padding to ~850 B; a non-finite
+  // descriptor can only come from corruption, never from compute_frame_info.
+  if (!std::isfinite(info.tilt) || !std::isfinite(info.rotation) ||
+      !std::isfinite(info.separation))
+    throw util::FormatError("CgFrameInfo descriptor not finite");
   return info;
 }
 

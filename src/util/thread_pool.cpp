@@ -113,6 +113,42 @@ void for_blocks(ThreadPool* pool, std::size_t n, std::size_t block,
     fn(b * block, std::min((b + 1) * block, n));
 }
 
+void pipeline_two_stage(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& produce,
+    const std::function<void(std::size_t, std::size_t)>& consume) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  auto lo = [chunk](std::size_t c) { return c * chunk; };
+  auto hi = [chunk, n](std::size_t c) { return std::min((c + 1) * chunk, n); };
+  if (pool == nullptr || pool->size() <= 1 || nchunks <= 1 || t_in_worker) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      produce(lo(c), hi(c));
+      consume(lo(c), hi(c));
+    }
+    return;
+  }
+  std::future<void> ahead =
+      pool->submit([&produce, lo, hi] { produce(lo(0), hi(0)); });
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    try {
+      ahead.get();  // rethrows a produce failure for chunk c
+      if (c + 1 < nchunks) {
+        const std::size_t next = c + 1;
+        ahead = pool->submit(
+            [&produce, lo, hi, next] { produce(lo(next), hi(next)); });
+      }
+      consume(lo(c), hi(c));
+    } catch (...) {
+      // An in-flight produce task captures locals by reference; it must not
+      // outlive this frame even when a stage throws.
+      if (ahead.valid()) ahead.wait();
+      throw;
+    }
+  }
+}
+
 ThreadPool* env_shared_pool() {
   if (const char* env = std::getenv("MUMMI_POOL_SIZE")) {
     const long n = std::strtol(env, nullptr, 10);

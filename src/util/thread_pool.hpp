@@ -94,6 +94,20 @@ ThreadPool& global_pool();
 void for_blocks(ThreadPool* pool, std::size_t n, std::size_t block,
                 const std::function<void(std::size_t, std::size_t)>& fn);
 
+/// Two-stage bounded pipeline over [0, n) in chunks of `chunk`: stage one
+/// (`produce`) for chunk c+1 runs as a pool task while stage two (`consume`)
+/// for chunk c runs on the caller, in ascending chunk order, with a lookahead
+/// of exactly one chunk. The chunk boundaries are a function of (n, chunk)
+/// only, and each stage sees every chunk exactly once in ascending order on
+/// both the serial and the pipelined path — so a caller that keeps per-item
+/// state disjoint (produce writes item i, consume reads item i) gets
+/// bit-identical results at any pool size. `consume` may itself fan out
+/// through the pool (e.g. via for_blocks); `produce` must not. Serial when
+/// pool is null or single-threaded.
+void pipeline_two_stage(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                        const std::function<void(std::size_t, std::size_t)>& produce,
+                        const std::function<void(std::size_t, std::size_t)>& consume);
+
 /// Pool resolution for engine configs whose `pool` field is null: the shared
 /// global_pool() when MUMMI_POOL_SIZE requests more than one worker, nullptr
 /// (serial) otherwise. Read on every call (cheap, per-engine not per-step)

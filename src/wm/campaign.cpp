@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <set>
 #include <utility>
 
 #include "fault/fault_injector.hpp"
+#include "wm/insitu.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -23,7 +25,7 @@ constexpr std::uint64_t kFrameIdBase = 1ULL << 40;  // keep ids disjoint
 /// calibrated so the full campaign lands near the paper's 1.03B files.
 constexpr double kFilesPerCgFrame = 5.0;
 
-constexpr std::uint32_t kCheckpointVersion = 2;  // v2: supervision state
+constexpr std::uint32_t kCheckpointVersion = 3;  // v3: in-situ accumulators
 
 void write_str_list(util::ByteWriter& w, const std::vector<std::string>& v) {
   w.u64(v.size());
@@ -133,6 +135,8 @@ util::Bytes CampaignResult::science_fingerprint() const {
   write_supervision(w, supervision);
   write_str_list(w, supervision_log);
   write_str_list(w, quarantined);
+  w.u64(analysis_frames);
+  w.bytes(rdf_feedback.serialize());
   return std::move(w).take();
 }
 
@@ -140,6 +144,8 @@ Campaign::Campaign(CampaignConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   next_frame_id_ = kFrameIdBase;
 }
+
+Campaign::~Campaign() = default;
 
 Campaign::LogicalSim& Campaign::logical_sim(std::uint64_t payload, bool is_aa,
                                             bool degraded) {
@@ -451,36 +457,63 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
   engine.schedule_after(config_.snapshot_interval_s, snapshot_tick);
 
   std::function<void()> maintain_tick = [&] {
-    // Task 2 ingestion from the distributed CG analyses: candidate frames at
-    // the calibrated rate, in proportion to CG progress this interval.
-    const int running_cg = wm.running("cg_sim");
-    if (running_cg > 0 && config_.frame_candidate_scale > 0) {
-      const double progress_us = static_cast<double>(running_cg) *
-                                 (config_.perf.cg_us_per_day / 86400.0) *
-                                 config_.maintain_interval_s;
-      const double mean = progress_us * config_.frame_candidates_per_us *
-                          config_.frame_candidate_scale;
-      const auto n = static_cast<std::size_t>(
-          std::max(0.0, rng_.normal(mean, std::sqrt(std::max(mean, 1.0)))));
-      if (n > 0) {
+    // Task 2 ingestion from the distributed CG analyses: one in-situ analysis
+    // per running CG sim per tick (stepping, CgAnalysis, encoder feature
+    // extraction, RDF accumulation), fanned out across the insitu pool and
+    // folded in ascending sim-id order — candidate volume stays at the
+    // calibrated rate, now as per-sim Poisson draws from counter-based
+    // streams so the tick is byte-identical at any thread count.
+    obs::Span tick_span("wm.tick", "wm");
+    if (config_.frame_candidate_scale > 0) {
+      const auto payloads = wm.running_payloads(
+          "cg_sim",
+          [&](const sched::Job& job) { return executor.is_hung(job.id); });
+      if (!payloads.empty()) {
+        const double mean_per_sim = (config_.perf.cg_us_per_day / 86400.0) *
+                                    config_.maintain_interval_s *
+                                    config_.frame_candidates_per_us *
+                                    config_.frame_candidate_scale;
+        // The tick key derives from the *absolute* offset into this run (and
+        // the flat run index), so a campaign resumed from a checkpoint
+        // replays the remaining ticks with the exact same per-sim streams.
+        const double t_abs = resume_base_s_ + engine.now();
+        std::uint64_t tbits = 0;
+        std::memcpy(&tbits, &t_abs, sizeof tbits);
+        const std::uint64_t tick_key =
+            tbits ^ (0x9e3779b97f4a7c15ULL * (flat_run_ + 1));
+
         ml::PointStore frames(3);
-        frames.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          const ml::PointId id = next_frame_id_++;
-          const float tilt =
-              static_cast<float>(90.0 * std::sqrt(rng_.uniform()));
-          const float rot = static_cast<float>(rng_.uniform(0.0, 360.0));
-          const float sep =
-              static_cast<float>(std::min(3.0, rng_.exponential(1.0)));
-          const float coords[3] = {tilt, rot, sep};
-          frames.add(id, coords);
+        std::uint64_t candidates = 0;
+        const std::uint64_t fold_ns = insitu_->tick(
+            payloads, tick_key, mean_per_sim, [&](const InSituResult& r) {
+              if (r.candidates > 0) {
+                // First candidate is the analyzed frame's real descriptor;
+                // the rest are subsampled snapshots of the same sim.
+                r.frame.descriptor_into(next_frame_id_++, frames);
+                for (const auto& d : r.extra)
+                  frames.add(next_frame_id_++, std::span<const float>(d));
+                candidates += r.candidates;
+              }
+              if (result.rdf_feedback.per_species.empty())
+                result.rdf_feedback = r.rdfs;
+              else
+                result.rdf_feedback.merge(r.rdfs);
+              ++result.analysis_frames;
+            });
+        if (candidates > 0) {
+          result.frame_candidates += candidates;
+          result.ledger.files_total += candidates;  // the ~850 B id records
+          wm.ingest_frames(frames);
         }
-        result.frame_candidates += n;
-        result.ledger.files_total += n;  // the ~850 B id records
-        wm.ingest_frames(frames);
+        obs::counter("wm.tick.sims").inc(payloads.size());
+        obs::counter("wm.tick.analysis_frames").inc(payloads.size());
+        obs::counter("wm.tick.fold_ns").inc(fold_ns);
       }
+      result.tick_sims.push_back(static_cast<std::uint32_t>(payloads.size()));
     }
     wm.maintain(config_.submit_budget_per_maintain);
+    obs::histogram("wm.tick_s", 0.0, 0.02, 50)
+        .observe(tick_span.elapsed_us() * 1e-6);
     engine.schedule_after(config_.maintain_interval_s, maintain_tick);
   };
   engine.schedule_after(config_.maintain_interval_s, maintain_tick);
@@ -659,6 +692,11 @@ void Campaign::run_one(int nodes, double walltime_h, CampaignResult& result,
     write_supervision(w, sup);
     write_str_list(w, sup_log);
 
+    // v3: in-situ analysis accumulators (fingerprinted science state — a
+    // resumed campaign must keep merging RDFs into the same totals).
+    w.u64(result.analysis_frames);
+    w.bytes(result.rdf_feedback.serialize());
+
     util::CheckpointFile(config_.checkpoint_path).save(std::move(w).take());
   };
 
@@ -835,6 +873,8 @@ std::optional<std::uint64_t> Campaign::try_load_checkpoint(
   result.checkpoints_written = r.u64();
   result.supervision = read_supervision(r);
   result.supervision_log = read_str_list(r);
+  result.analysis_frames = r.u64();
+  result.rdf_feedback = coupling::RdfSet::deserialize(r.bytes());
   result.resumed_from_checkpoint = true;
 
   resume_ = std::move(rs);
@@ -851,6 +891,15 @@ CampaignResult Campaign::run() {
 
   patch_selector_ = std::make_unique<PatchSelector>(9, 5, 35000);
   frame_selector_ = std::make_unique<FrameSelector>(0.8, rng_());
+  {
+    // In-situ analysis fan-out: per-sim streams are counter-based (never the
+    // shared rng_), so the pool only trades wall time for tick latency.
+    InSituConfig insitu_cfg;
+    insitu_cfg.pool = config_.insitu_pool != nullptr ? config_.insitu_pool
+                                                     : util::env_shared_pool();
+    insitu_ = std::make_unique<InSituPlane>(
+        config_.seed ^ 0xa5a5a5a5a5a5a5a5ULL, insitu_cfg);
+  }
   // Campaign-scale candidate volumes: stream history to /dev/null instead of
   // holding tens of millions of event ids in memory.
   patch_selector_->set_history_enabled(false);

@@ -16,10 +16,12 @@
 #include <optional>
 #include <vector>
 
+#include "coupling/analysis.hpp"
 #include "event/sim_engine.hpp"
 #include "fault/crash_point.hpp"
 #include "fault/fault_plan.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "wm/perf_model.hpp"
 #include "wm/profiler.hpp"
 #include "wm/workflow_manager.hpp"
@@ -105,6 +107,12 @@ struct CampaignConfig {
   /// Test/bench aid: hard-kill the coordination process (SimulatedCrash)
   /// once this many campaign hours have elapsed. 0 disables.
   double crash_at_campaign_h = 0;
+
+  /// Pool for the in-situ analysis fan-out inside the maintain tick. Null
+  /// resolves through util::env_shared_pool() (MUMMI_POOL_SIZE). The pool
+  /// size only changes wall time: CampaignResult::science_fingerprint() is
+  /// byte-identical at any thread count.
+  util::ThreadPool* insitu_pool = nullptr;
 };
 
 struct RunRow {
@@ -151,6 +159,17 @@ struct CampaignResult {
   std::uint64_t checkpoints_written = 0;
   bool resumed_from_checkpoint = false;
 
+  // In-situ analysis plane outcomes: frames analyzed by the per-sim
+  // CgAnalysis fan-out and the merged protein-lipid RDF feedback (both part
+  // of the science fingerprint; folded in ascending sim-id order, so
+  // byte-identical at any insitu_pool size).
+  std::uint64_t analysis_frames = 0;
+  coupling::RdfSet rdf_feedback;
+  /// Per-maintain-tick analyzed-sim counts, in tick order — diagnostics for
+  /// the campaign-parallel bench's schedule model (like the profiler, not
+  /// part of the fingerprint and not checkpointed).
+  std::vector<std::uint32_t> tick_sims;
+
   // Supervision plane outcomes (all zero when supervise.enabled is false).
   supervise::SupervisionStats supervision;
   /// Decision log across all runs, in decision order — byte-identical for
@@ -168,9 +187,12 @@ struct CampaignResult {
   [[nodiscard]] util::Bytes science_fingerprint() const;
 };
 
+class InSituPlane;
+
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config);
+  ~Campaign();  // out of line: InSituPlane is incomplete here
 
   /// Runs the whole schedule; deterministic for a given config.
   CampaignResult run();
@@ -206,6 +228,7 @@ class Campaign {
 
   CampaignConfig config_;
   util::Rng rng_;
+  std::unique_ptr<InSituPlane> insitu_;
   std::unordered_map<std::uint64_t, LogicalSim> sims_;
   std::unique_ptr<PatchSelector> patch_selector_;
   std::unique_ptr<FrameSelector> frame_selector_;

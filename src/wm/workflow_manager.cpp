@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +36,21 @@ void WorkflowManager::bump(std::unordered_map<std::string, int>& map,
 int WorkflowManager::running(const std::string& type) const {
   auto it = running_.find(type);
   return it == running_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> WorkflowManager::running_payloads(
+    const std::string& type,
+    const std::function<bool(const sched::Job&)>& exclude) const {
+  std::set<std::uint64_t> uniq;
+  sched::Scheduler& scheduler = maestro_.scheduler();
+  for (const sched::JobId id : scheduler.active_jobs()) {
+    const sched::Job& job = scheduler.job(id);
+    if (job.spec.type != type || job.state != sched::JobState::kRunning)
+      continue;
+    if (exclude && exclude(job)) continue;
+    uniq.insert(job.spec.payload);
+  }
+  return {uniq.begin(), uniq.end()};
 }
 
 int WorkflowManager::pending(const std::string& type) const {

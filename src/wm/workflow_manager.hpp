@@ -93,6 +93,14 @@ class WorkflowManager : public supervise::WorkloadControl {
 
   // --- introspection ------------------------------------------------------
   [[nodiscard]] int running(const std::string& type) const;
+  /// Ascending unique payloads of currently *running* jobs of `type`, with an
+  /// optional exclusion predicate (e.g. the campaign filters hung jobs). A
+  /// payload with both an original and a speculative twin appears once. The
+  /// in-situ analysis fan-out iterates this list and folds its results in
+  /// this order, so the ordering is part of the determinism contract.
+  [[nodiscard]] std::vector<std::uint64_t> running_payloads(
+      const std::string& type,
+      const std::function<bool(const sched::Job&)>& exclude = nullptr) const;
   [[nodiscard]] int pending(const std::string& type) const;
   [[nodiscard]] std::size_t cg_ready() const { return ready_cg_.size(); }
   [[nodiscard]] std::size_t aa_ready() const { return ready_aa_.size(); }

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "coupling/patch.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace mummi::coupling {
@@ -78,6 +82,91 @@ TEST(RdfSet, MergeMismatchRejected) {
   RdfSet a, b;
   a.per_species.emplace_back(2.0, 10);
   EXPECT_THROW(a.merge(b), util::Error);
+}
+
+// --- untrusted-byte hardening -----------------------------------------------
+// RdfSet::deserialize validates bounds before allocating (the
+// Snapshot::deserialize discipline): adversarial headers must throw
+// FormatError, never reach operator new with attacker-chosen sizes.
+
+util::Bytes valid_rdfset_bytes() {
+  RdfSet set;
+  set.per_species.emplace_back(2.0, 16);
+  set.per_species.emplace_back(2.0, 16);
+  return set.serialize();
+}
+
+TEST(RdfSet, DeserializeRejectsTruncation) {
+  const auto bytes = valid_rdfset_bytes();
+  for (const std::size_t keep : {0u, 3u, 4u, 12u, 20u}) {
+    ASSERT_LT(keep, bytes.size());
+    const util::Bytes cut(bytes.begin(), bytes.begin() + keep);
+    EXPECT_THROW((void)RdfSet::deserialize(cut), util::FormatError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(RdfSet, DeserializeRejectsHugeSpeciesCount) {
+  util::ByteWriter w;
+  w.u32(0xffffffffu);  // claims 4 billion species; stream ends right here
+  EXPECT_THROW((void)RdfSet::deserialize(std::move(w).take()),
+               util::FormatError);
+}
+
+TEST(RdfSet, DeserializeRejectsHugeBinCount) {
+  util::ByteWriter w;
+  w.u32(1);
+  w.f64(2.0);                     // r_max
+  w.u64(1ull << 40);              // bins: ~8 TiB of counts if trusted
+  w.u64(0);                       // frames
+  w.f64(0.0);                     // pair density
+  EXPECT_THROW((void)RdfSet::deserialize(std::move(w).take()),
+               util::FormatError);
+}
+
+TEST(RdfSet, DeserializeRejectsBadRmax) {
+  for (const double rmax :
+       {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    util::ByteWriter w;
+    w.u32(1);
+    w.f64(rmax);
+    w.u64(16);
+    w.u64(0);
+    w.f64(0.0);
+    w.vec(std::vector<double>(16, 0.0));
+    EXPECT_THROW((void)RdfSet::deserialize(std::move(w).take()),
+                 util::FormatError);
+  }
+}
+
+TEST(RdfSet, DeserializeRejectsNonFinitePairDensity) {
+  util::ByteWriter w;
+  w.u32(1);
+  w.f64(2.0);
+  w.u64(16);
+  w.u64(1);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.vec(std::vector<double>(16, 0.0));
+  EXPECT_THROW((void)RdfSet::deserialize(std::move(w).take()),
+               util::FormatError);
+}
+
+TEST(RdfSet, DeserializeRejectsCountsBinsMismatch) {
+  util::ByteWriter w;
+  w.u32(1);
+  w.f64(2.0);
+  w.u64(16);  // header says 16 bins...
+  w.u64(0);
+  w.f64(0.0);
+  w.vec(std::vector<double>(8, 0.0));  // ...counts vector carries 8
+  EXPECT_THROW((void)RdfSet::deserialize(std::move(w).take()),
+               util::FormatError);
+}
+
+TEST(RdfSet, DeserializeAcceptsValidAfterHardening) {
+  const auto bytes = valid_rdfset_bytes();
+  EXPECT_EQ(RdfSet::deserialize(bytes).serialize(), bytes);
 }
 
 TEST(AaAnalysis, ProducesPatternOfBackboneLength) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "coupling/patch.hpp"
 #include "ml/point.hpp"
@@ -76,6 +77,30 @@ TEST(CgFrameInfo, SerializeIsRecordSized) {
   EXPECT_FLOAT_EQ(back.tilt, 33.5f);
   EXPECT_FLOAT_EQ(back.rotation, 120.0f);
   EXPECT_FLOAT_EQ(back.separation, 1.25f);
+}
+
+TEST(CgFrameInfo, DeserializeRejectsTruncation) {
+  CgFrameInfo info;
+  info.sim_id = 1;
+  const auto bytes = info.serialize();
+  for (const std::size_t keep : {0u, 7u, 8u, 15u, 16u, 23u}) {
+    const util::Bytes cut(bytes.begin(), bytes.begin() + keep);
+    EXPECT_THROW((void)CgFrameInfo::deserialize(cut), util::FormatError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(CgFrameInfo, DeserializeRejectsNonFiniteDescriptor) {
+  CgFrameInfo info;
+  info.sim_id = 9;
+  info.step = 1;
+  info.tilt = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW((void)CgFrameInfo::deserialize(info.serialize()),
+               util::FormatError);
+  info.tilt = 10.0f;
+  info.separation = std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)CgFrameInfo::deserialize(info.serialize()),
+               util::FormatError);
 }
 
 TEST(CgFrameInfo, DescriptorIsThreeD) {

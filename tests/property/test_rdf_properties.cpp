@@ -1,0 +1,125 @@
+// Algebraic laws of the RDF feedback merge — the fold that the parallel
+// campaign tick, the CG-to-continuum feedback and checkpoint-resume all rely
+// on. Merge must behave as an exact commutative monoid on the values the
+// pipeline actually produces (integer bin counts, dyadic pair densities), so
+// any deterministic merge order gives bitwise-equal feedback.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "coupling/analysis.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mummi::coupling {
+namespace {
+
+// A set with integer-valued counts and dyadic pair densities: every value the
+// merge adds is exactly representable, so merge order cannot change a bit
+// (this mirrors production, where counts are whole pair tallies and the
+// in-situ boxes have power-of-two volumes).
+RdfSet dyadic_set(std::uint64_t seed, std::size_t n_species = 3,
+                  std::size_t nbins = 16) {
+  util::Rng rng(seed);
+  RdfSet out;
+  for (std::size_t s = 0; s < n_species; ++s) {
+    md::RdfAccumulator acc(2.0, nbins);
+    std::vector<double> counts(nbins);
+    for (auto& c : counts)
+      c = static_cast<double>(static_cast<int>(rng.uniform(0.0, 64.0)));
+    const auto frames = static_cast<std::size_t>(rng.uniform(1.0, 8.0));
+    // npairs / volume with volume 64 = 2^6: dyadic by construction.
+    const double pair_density =
+        static_cast<double>(static_cast<int>(rng.uniform(0.0, 4096.0))) / 64.0;
+    acc.restore_raw(std::move(counts), frames, pair_density);
+    out.per_species.push_back(std::move(acc));
+  }
+  return out;
+}
+
+RdfSet zero_like(const RdfSet& like) {
+  RdfSet out;
+  for (const auto& rdf : like.per_species)
+    out.per_species.emplace_back(rdf.r_max(), rdf.nbins());
+  return out;
+}
+
+TEST(RdfSetProperty, MergeZeroIsIdentity) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    RdfSet a = dyadic_set(seed);
+    const util::Bytes before = a.serialize();
+    a.merge(zero_like(a));
+    EXPECT_EQ(a.serialize(), before) << "seed " << seed;
+    RdfSet z = zero_like(a);
+    z.merge(a);
+    EXPECT_EQ(z.serialize(), before) << "seed " << seed;
+  }
+}
+
+TEST(RdfSetProperty, MergeCommutes) {
+  for (std::uint64_t seed : {10ull, 20ull, 30ull, 40ull, 50ull}) {
+    RdfSet ab = dyadic_set(seed);
+    ab.merge(dyadic_set(seed + 1));
+    RdfSet ba = dyadic_set(seed + 1);
+    ba.merge(dyadic_set(seed));
+    EXPECT_EQ(ab.serialize(), ba.serialize()) << "seed " << seed;
+  }
+}
+
+TEST(RdfSetProperty, MergeAssociates) {
+  for (std::uint64_t seed : {100ull, 200ull, 300ull, 400ull, 500ull}) {
+    RdfSet left = dyadic_set(seed);       // (a + b) + c
+    left.merge(dyadic_set(seed + 1));
+    left.merge(dyadic_set(seed + 2));
+    RdfSet bc = dyadic_set(seed + 1);     // a + (b + c)
+    bc.merge(dyadic_set(seed + 2));
+    RdfSet right = dyadic_set(seed);
+    right.merge(bc);
+    EXPECT_EQ(left.serialize(), right.serialize()) << "seed " << seed;
+  }
+}
+
+TEST(RdfSetProperty, AnyFoldOrderOfAscendingChainMatchesSerial) {
+  // The campaign fold reduces per-sim sets left-to-right; a tree reduction
+  // (what a future parallel fold would do) must give the same bytes.
+  std::vector<RdfSet> parts;
+  for (std::uint64_t s = 0; s < 8; ++s) parts.push_back(dyadic_set(700 + s));
+  RdfSet serial = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) serial.merge(parts[i]);
+  // Pairwise tree: ((0+1)+(2+3)) + ((4+5)+(6+7)).
+  auto pair = [](RdfSet a, const RdfSet& b) {
+    a.merge(b);
+    return a;
+  };
+  RdfSet tree = pair(pair(pair(parts[0], parts[1]), pair(parts[2], parts[3])),
+                     pair(pair(parts[4], parts[5]), pair(parts[6], parts[7])));
+  EXPECT_EQ(tree.serialize(), serial.serialize());
+}
+
+TEST(RdfSetProperty, MergeRejectsSpeciesMismatch) {
+  RdfSet a = dyadic_set(1, /*n_species=*/3);
+  const RdfSet b = dyadic_set(2, /*n_species=*/4);
+  EXPECT_THROW(a.merge(b), util::Error);
+}
+
+TEST(RdfSetProperty, MergeRejectsBinningMismatch) {
+  RdfSet a = dyadic_set(1, 3, /*nbins=*/16);
+  const RdfSet bins = dyadic_set(2, 3, /*nbins=*/24);
+  EXPECT_THROW(a.merge(bins), util::Error);
+  RdfSet c = dyadic_set(3, 3, 16);
+  RdfSet rmax;
+  for (std::size_t s = 0; s < 3; ++s) rmax.per_species.emplace_back(2.5, 16);
+  EXPECT_THROW(c.merge(rmax), util::Error);
+}
+
+TEST(RdfSetProperty, SerializeRoundTripsBitwise) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const RdfSet a = dyadic_set(seed);
+    const util::Bytes bytes = a.serialize();
+    EXPECT_EQ(RdfSet::deserialize(bytes).serialize(), bytes);
+  }
+}
+
+}  // namespace
+}  // namespace mummi::coupling

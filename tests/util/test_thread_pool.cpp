@@ -148,6 +148,134 @@ TEST(ThreadPool, WaitIdleUnderConcurrentEnqueue) {
   pool.wait_idle();
 }
 
+TEST(PipelineTwoStage, CoversRangeInOrderSerial) {
+  std::vector<int> produced, consumed;
+  pipeline_two_stage(
+      nullptr, 10, 4,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          produced.push_back(static_cast<int>(i));
+      },
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          consumed.push_back(static_cast<int>(i));
+      });
+  const std::vector<int> want{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(produced, want);
+  EXPECT_EQ(consumed, want);
+}
+
+TEST(PipelineTwoStage, ConsumeSeesProducedChunkAndStaysOrdered) {
+  // The pipeline contract: consume(c) starts only after produce(c) finished,
+  // and consume chunks run serially in ascending order on the caller thread.
+  ThreadPool pool(4);
+  const std::size_t n = 1000, chunk = 64;
+  std::vector<int> staged(n, 0);
+  std::vector<std::size_t> consume_los;
+  pipeline_two_stage(
+      &pool, n, chunk,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) staged[i] = static_cast<int>(i);
+      },
+      [&](std::size_t lo, std::size_t hi) {
+        consume_los.push_back(lo);
+        for (std::size_t i = lo; i < hi; ++i)
+          EXPECT_EQ(staged[i], static_cast<int>(i));
+      });
+  ASSERT_EQ(consume_los.size(), (n + chunk - 1) / chunk);
+  EXPECT_TRUE(std::is_sorted(consume_los.begin(), consume_los.end()));
+}
+
+TEST(PipelineTwoStage, SerialAndPooledFoldIdentical) {
+  // Threads change wall time, never output: the consume-side fold sequence
+  // is byte-identical with and without a pool.
+  auto fold_trace = [](ThreadPool* pool) {
+    std::vector<std::size_t> trace;
+    pipeline_two_stage(
+        pool, 337, 16, [](std::size_t, std::size_t) {},
+        [&](std::size_t lo, std::size_t hi) {
+          trace.push_back(lo);
+          trace.push_back(hi);
+        });
+    return trace;
+  };
+  ThreadPool p2(2), p8(8);
+  const auto want = fold_trace(nullptr);
+  EXPECT_EQ(fold_trace(&p2), want);
+  EXPECT_EQ(fold_trace(&p8), want);
+}
+
+TEST(PipelineTwoStage, EmptyAndSingleChunkEdges) {
+  ThreadPool pool(2);
+  int produce_calls = 0, consume_calls = 0;
+  pipeline_two_stage(
+      &pool, 0, 8, [&](std::size_t, std::size_t) { ++produce_calls; },
+      [&](std::size_t, std::size_t) { ++consume_calls; });
+  EXPECT_EQ(produce_calls, 0);
+  EXPECT_EQ(consume_calls, 0);
+  pipeline_two_stage(
+      &pool, 5, 8, [&](std::size_t lo, std::size_t hi) {
+        ++produce_calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 5u);
+      },
+      [&](std::size_t, std::size_t) { ++consume_calls; });
+  EXPECT_EQ(produce_calls, 1);
+  EXPECT_EQ(consume_calls, 1);
+}
+
+TEST(PipelineTwoStage, ZeroChunkTreatedAsOne) {
+  std::vector<std::size_t> los;
+  pipeline_two_stage(
+      nullptr, 3, 0, [](std::size_t, std::size_t) {},
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_EQ(hi, lo + 1);
+        los.push_back(lo);
+      });
+  EXPECT_EQ(los, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(PipelineTwoStage, ProduceExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pipeline_two_stage(
+                   &pool, 1000, 16,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 512) throw std::runtime_error("produce");
+                   },
+                   [](std::size_t, std::size_t) {}),
+               std::runtime_error);
+  pool.wait_idle();  // no stranded tasks referencing dead stack frames
+}
+
+TEST(PipelineTwoStage, ConsumeExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pipeline_two_stage(
+                   &pool, 1000, 16, [](std::size_t, std::size_t) {},
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 512) throw std::runtime_error("consume");
+                   }),
+               std::runtime_error);
+  pool.wait_idle();
+}
+
+TEST(PipelineTwoStage, NestedInsideWorkerRunsInline) {
+  // Same no-deadlock guarantee as parallel_for_blocks: a worker task that
+  // itself pipelines must not wait on the occupied pool.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 4; ++t)
+    futures.push_back(pool.submit([&pool, &total] {
+      pipeline_two_stage(
+          &pool, 100, 10, [](std::size_t, std::size_t) {},
+          [&](std::size_t lo, std::size_t hi) {
+            total += static_cast<int>(hi - lo);
+          });
+    }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 400);
+}
+
 TEST(ThreadPool, SizeMatchesRequest) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);

@@ -1,0 +1,151 @@
+#include "wm/insitu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mummi::wm {
+namespace {
+
+// Canonical byte encoding of one fold callback's payload — what the
+// determinism sweeps compare across pool sizes and plane rebuilds.
+util::Bytes encode(const InSituResult& r) {
+  util::ByteWriter w;
+  w.u64(r.sim);
+  w.bytes(r.frame.serialize());
+  w.u32(r.candidates);
+  w.u64(r.extra.size());
+  for (const auto& d : r.extra)
+    for (float v : d) w.f32(v);
+  w.bytes(r.rdfs.serialize());
+  return std::move(w).take();
+}
+
+// Runs a fixed three-tick schedule (growing, then shrinking payload sets)
+// and returns the concatenated fold bytes plus the reported fold_ns sum.
+util::Bytes run_schedule(InSituPlane& plane) {
+  const std::vector<std::vector<std::uint64_t>> ticks = {
+      {2, 3, 5, 8, 13, 21},
+      {2, 3, 5, 8, 13, 21, 34, 55, 89},
+      {3, 8, 34, 89},
+  };
+  util::ByteWriter w;
+  std::uint64_t key = 0x51c1a9a0feedULL;
+  for (const auto& payloads : ticks) {
+    plane.tick(payloads, key, 2.5,
+               [&](const InSituResult& r) { w.bytes(encode(r)); });
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return std::move(w).take();
+}
+
+TEST(InSitu, FoldAscendingAndComplete) {
+  InSituPlane plane(99);
+  const std::vector<std::uint64_t> payloads{4, 7, 11, 200, 5000};
+  std::vector<std::uint64_t> seen;
+  plane.tick(payloads, 17, 1.0,
+             [&](const InSituResult& r) { seen.push_back(r.sim); });
+  EXPECT_EQ(seen, payloads);
+  EXPECT_EQ(plane.active_sims(), payloads.size());
+}
+
+TEST(InSitu, PrunesDepartedSims) {
+  InSituPlane plane(99);
+  plane.tick({1, 2, 3, 4}, 1, 1.0, [](const InSituResult&) {});
+  EXPECT_EQ(plane.active_sims(), 4u);
+  plane.tick({2, 4}, 2, 1.0, [](const InSituResult&) {});
+  EXPECT_EQ(plane.active_sims(), 2u);
+  plane.tick({}, 3, 1.0, [](const InSituResult&) {});
+  EXPECT_EQ(plane.active_sims(), 0u);
+}
+
+TEST(InSitu, ExtraDescriptorsMatchCandidateCount) {
+  InSituPlane plane(7);
+  plane.tick({1, 2, 3, 4, 5, 6, 7, 8}, 42, 4.0, [](const InSituResult& r) {
+    if (r.candidates == 0)
+      EXPECT_TRUE(r.extra.empty());
+    else
+      EXPECT_EQ(r.extra.size(), static_cast<std::size_t>(r.candidates) - 1);
+    EXPECT_EQ(r.rdfs.per_species.size(), 4u);
+    for (const auto& rdf : r.rdfs.per_species) EXPECT_EQ(rdf.frames(), 1u);
+  });
+}
+
+TEST(InSitu, FramesAreFinitePhysicalDescriptors) {
+  InSituPlane plane(3);
+  plane.tick({10, 20, 30}, 5, 1.0, [](const InSituResult& r) {
+    EXPECT_GE(r.frame.tilt, 0.0f);
+    EXPECT_LE(r.frame.tilt, 90.0f);
+    EXPECT_GE(r.frame.rotation, 0.0f);
+    EXPECT_LT(r.frame.rotation, 360.0f);
+    EXPECT_GE(r.frame.separation, 0.0f);
+    EXPECT_EQ(r.frame.sim_id, r.sim);
+  });
+}
+
+TEST(InSitu, StreamSeedLanesAndNeighborsDiffer) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t sim : {0ull, 1ull, 2ull})
+    for (std::uint64_t tick : {0ull, 1ull})
+      for (std::uint64_t lane : {0ull, 1ull})
+        seen.insert(InSituPlane::stream_seed(12345, sim, tick, lane));
+  EXPECT_EQ(seen.size(), 12u);  // no collisions among nearby streams
+}
+
+TEST(InSitu, TickOutputStatelessAcrossRebuild) {
+  // A plane rebuilt after a crash-restart replays identical folds: output is
+  // a pure function of (seed, payloads, tick_key, candidate_mean), not of
+  // which ticks ran before.
+  InSituPlane warm(42);
+  warm.tick({1, 2, 3}, 100, 2.0, [](const InSituResult&) {});
+  warm.tick({1, 2, 3, 4}, 200, 2.0, [](const InSituResult&) {});
+  util::ByteWriter warm_bytes, cold_bytes;
+  warm.tick({1, 2, 3, 4}, 300, 2.0,
+            [&](const InSituResult& r) { warm_bytes.bytes(encode(r)); });
+  InSituPlane cold(42);
+  cold.tick({1, 2, 3, 4}, 300, 2.0,
+            [&](const InSituResult& r) { cold_bytes.bytes(encode(r)); });
+  EXPECT_EQ(std::move(warm_bytes).take(), std::move(cold_bytes).take());
+}
+
+// Satellite: CgAnalysis-backed thread-sweep determinism. The whole in-situ
+// fan-out (stepping, CgAnalysis::analyze, RdfSet accumulation, candidate
+// draws) must be byte-identical at pool sizes 1, 2 and 8.
+TEST(InSituProperty, ThreadSweepBitIdentical) {
+  InSituPlane serial_plane(2024);
+  const util::Bytes want = run_schedule(serial_plane);
+  EXPECT_FALSE(want.empty());
+  for (const std::size_t nthreads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(nthreads);
+    InSituConfig cfg;
+    cfg.pool = &pool;
+    InSituPlane plane(2024, cfg);
+    EXPECT_EQ(run_schedule(plane), want) << "pool size " << nthreads;
+  }
+}
+
+TEST(InSituProperty, ChunkBoundarySimCounts) {
+  // Payload counts straddling the chunk and sub-block constants: the fold
+  // must stay ascending and complete exactly at the pipeline seams.
+  util::ThreadPool pool(4);
+  InSituConfig cfg;
+  cfg.pool = &pool;
+  InSituPlane plane(5, cfg);
+  for (const std::size_t n :
+       {kInSituSubBlock - 1, kInSituSubBlock, kInSituChunk - 1, kInSituChunk,
+        kInSituChunk + 1, 2 * kInSituChunk + 3}) {
+    std::vector<std::uint64_t> payloads(n);
+    for (std::size_t i = 0; i < n; ++i) payloads[i] = 10 * (i + 1);
+    std::vector<std::uint64_t> seen;
+    plane.tick(payloads, n, 1.5,
+               [&](const InSituResult& r) { seen.push_back(r.sim); });
+    EXPECT_EQ(seen, payloads) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace mummi::wm
